@@ -1,0 +1,23 @@
+"""Shared benchmark configuration.
+
+Table/figure regeneration benches run the experiment exactly once (they train
+models; statistical repetition comes from the fixed seeds, not re-running)
+and print the regenerated table so `pytest benchmarks/ --benchmark-only -s`
+reproduces the paper's artifacts on the terminal.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark a whole-experiment function with a single round."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1,
+                              iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture
+def once(benchmark):
+    def _run(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+
+    return _run

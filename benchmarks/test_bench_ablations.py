@@ -1,0 +1,177 @@
+"""Ablation benches for the design choices DESIGN.md §5 calls out:
+
+* Morton vs row-major token order
+* Canny vs local-variance split criterion
+* 2:1 balance constraint on/off
+* coordinate positional embedding on/off
+* sequence parallelism (Ulysses) vs APF — work reduction comparison
+"""
+
+import numpy as np
+
+from repro.data import generate_wsi
+from repro.patching import AdaptivePatcher
+
+
+class TestOrderAblation:
+    def test_morton_vs_rowmajor_locality(self, once):
+        """Morton order must keep geometric neighbours closer in sequence —
+        the property motivating step 5 of the pipeline."""
+        def measure():
+            img = generate_wsi(128, seed=0).image
+            out = {}
+            for order in ("morton", "rowmajor"):
+                seq = AdaptivePatcher(patch_size=4, split_value=4.0,
+                                      order=order)(img)
+                cy = seq.ys + seq.sizes / 2
+                cx = seq.xs + seq.sizes / 2
+                d = np.hypot(np.diff(cy), np.diff(cx))
+                out[order] = float(d.mean())
+            return out
+
+        dists = once(measure)
+        print(f"\nmean successive-token distance: "
+              f"{ {k: round(v, 2) for k, v in dists.items()} }")
+        assert dists["morton"] <= dists["rowmajor"]
+
+
+class TestHilbertAblation:
+    def test_hilbert_vs_morton_locality(self, once):
+        """Extension ablation: the Hilbert curve (AMR's usual choice) should
+        tighten locality beyond the paper's Morton order."""
+        def measure():
+            img = generate_wsi(128, seed=0).image
+            out = {}
+            for order in ("hilbert", "morton", "rowmajor"):
+                seq = AdaptivePatcher(patch_size=4, split_value=4.0,
+                                      order=order)(img)
+                cy = seq.ys + seq.sizes / 2
+                cx = seq.xs + seq.sizes / 2
+                out[order] = float(np.hypot(np.diff(cy), np.diff(cx)).mean())
+            return out
+
+        dists = once(measure)
+        print(f"\nmean successive-token distance: "
+              f"{ {k: round(v, 2) for k, v in dists.items()} }")
+        assert dists["hilbert"] <= dists["morton"] <= dists["rowmajor"]
+
+
+class TestDropStrategyAblation:
+    def test_coarsest_first_preserves_detail_tokens(self, once):
+        """Extension: dropping the coarsest leaves first keeps every finest
+        (detail-bearing) token that random dropping would sacrifice."""
+        def measure():
+            img = generate_wsi(128, seed=0).image
+            nat = AdaptivePatcher(patch_size=2, split_value=2.0).extract_natural(img)
+            target = len(nat) // 2
+            out = {}
+            for strat in ("random", "coarsest-first"):
+                seq = AdaptivePatcher(patch_size=2, split_value=2.0,
+                                      target_length=target,
+                                      drop_strategy=strat)(img)
+                fine = int((seq.sizes == nat.sizes.min()).sum())
+                out[strat] = (fine, float(seq.coverage_fraction()))
+            return out, int((nat.sizes == nat.sizes.min()).sum())
+
+        (out, total_fine) = once(measure)
+        print(f"\nfinest tokens retained (of {total_fine}): "
+              f"random={out['random'][0]}, "
+              f"coarsest-first={out['coarsest-first'][0]}")
+        assert out["coarsest-first"][0] >= out["random"][0]
+
+
+class TestCriterionAblation:
+    def test_canny_vs_variance_compression(self, once):
+        """Both criteria compress; Canny concentrates refinement on
+        boundaries (the paper's choice)."""
+        def measure():
+            img = generate_wsi(128, seed=0).image
+            out = {}
+            for crit in ("canny", "variance"):
+                seq = AdaptivePatcher(patch_size=4, split_value=4.0,
+                                      criterion=crit)(img)
+                out[crit] = len(seq)
+            return out
+
+        lens = once(measure)
+        print(f"\nsequence length by criterion: {lens}")
+        uniform = (128 // 4) ** 2
+        assert lens["canny"] < uniform
+        assert lens["variance"] < uniform
+
+
+class TestBalanceAblation:
+    def test_balance_cost_is_bounded(self, once):
+        """2:1 balancing adds leaves; the overhead must stay a small factor."""
+        def measure():
+            img = generate_wsi(128, seed=0).image
+            plain = AdaptivePatcher(patch_size=4, split_value=4.0)(img)
+            bal = AdaptivePatcher(patch_size=4, split_value=4.0,
+                                  balance=True)(img)
+            return len(plain), len(bal)
+
+        n_plain, n_bal = once(measure)
+        print(f"\nleaves plain={n_plain} balanced={n_bal}")
+        assert n_bal >= n_plain
+        assert n_bal <= n_plain * 3.0
+
+
+class TestCoordEmbeddingAblation:
+    def test_coords_embedding_helps_adaptive_layout(self, once):
+        """With APF the per-index positional table is inconsistent across
+        images; the geometry embedding should not hurt, and usually helps."""
+        from repro import nn
+        from repro.experiments.common import (ExperimentScale, make_trainer,
+                                              paip_splits)
+        from repro.models import ViTSegmenter
+        from repro.train import TokenSegmentationTask
+
+        def measure():
+            scale = ExperimentScale(resolution=64, n_samples=8, epochs=6,
+                                    dim=24, depth=2)
+            train, val, _ = paip_splits(scale)
+            out = {}
+            for use_coords in (True, False):
+                model = ViTSegmenter(patch_size=4, channels=1, dim=scale.dim,
+                                     depth=scale.depth, heads=2, max_len=256,
+                                     use_coords=use_coords,
+                                     rng=np.random.default_rng(0))
+                patcher = AdaptivePatcher(patch_size=4, split_value=2.0,
+                                          target_length=160)
+                task = TokenSegmentationTask(model, patcher, channels=1)
+                hist = make_trainer(task, scale).fit(train, val,
+                                                     epochs=scale.epochs)
+                out[use_coords] = hist.best_metric
+            return out
+
+        dice = once(measure)
+        print(f"\nbest dice with coords={dice[True]:.2f} "
+              f"without={dice[False]:.2f}")
+        assert dice[True] >= dice[False] - 10.0  # never catastrophically worse
+
+
+class TestSequenceParallelComparison:
+    def test_ulysses_conserves_work_apf_reduces_it(self, once):
+        """Table I's punchline: sequence parallelism distributes the same
+        quadratic work; APF removes work before the model sees it."""
+        from repro.distributed import ulysses_attention
+        from repro.perf import TransformerConfig, attention_flops
+
+        def measure():
+            h, n, dh = 8, 256, 16
+            rng = np.random.default_rng(0)
+            q, k, v = (rng.normal(size=(h, n, dh)) for _ in range(3))
+            _, rep1 = ulysses_attention(q, k, v, 1)
+            _, rep8 = ulysses_attention(q, k, v, 8)
+            img = generate_wsi(128, seed=0).image
+            apf_len = len(AdaptivePatcher(patch_size=4, split_value=8.0)(img))
+            return rep1.flops_per_rank, rep8.flops_per_rank * 8, apf_len
+
+        total1, total8, apf_len = once(measure)
+        uniform_len = (128 // 4) ** 2
+        print(f"\nUlysses total FLOPs world=1: {total1:.3g}, world=8: "
+              f"{total8:.3g}; APF tokens {apf_len} vs uniform {uniform_len}")
+        assert total1 == total8                      # no work reduction
+        flop_ratio = (attention_flops(uniform_len, 64)
+                      / attention_flops(apf_len, 64))
+        assert flop_ratio > 4                        # APF reduces work

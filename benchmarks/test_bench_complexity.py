@@ -1,0 +1,104 @@
+"""Table I verification: APF's complexity behaviour plus substrate
+microbenchmarks (quadtree build, Canny, Morton sort, attention, ring
+all-reduce) — the per-component costs behind the headline numbers.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.data import generate_wsi
+from repro.distributed import SimCluster
+from repro.imaging import canny_edges, gaussian_blur
+from repro.patching import AdaptivePatcher
+from repro.quadtree import build_quadtree, morton_sort_order
+
+
+class TestMicrobenches:
+    def test_quadtree_build(self, benchmark):
+        detail = (np.random.default_rng(0).random((512, 512)) > 0.97)
+        leaves = benchmark(build_quadtree, detail.astype(float), 8.0, 7, 2)
+        assert leaves.covers_exactly()
+
+    def test_canny_512(self, benchmark):
+        img = generate_wsi(512, seed=0).image.mean(axis=2)
+        edges = benchmark(canny_edges, img)
+        assert edges.shape == (512, 512)
+
+    def test_gaussian_blur_512(self, benchmark):
+        img = generate_wsi(512, seed=0).image.mean(axis=2)
+        out = benchmark(gaussian_blur, img, 5)
+        assert out.shape == (512, 512)
+
+    def test_morton_sort_100k(self, benchmark):
+        rng = np.random.default_rng(0)
+        ys = rng.integers(0, 2 ** 16, 100_000)
+        xs = rng.integers(0, 2 ** 16, 100_000)
+        order = benchmark(morton_sort_order, ys, xs)
+        assert len(order) == 100_000
+
+    def test_apf_pipeline_512(self, benchmark):
+        img = generate_wsi(512, seed=0).image
+        patcher = AdaptivePatcher(patch_size=4, split_value=8.0)
+        seq = benchmark(patcher.extract, img)
+        assert len(seq) < (512 // 4) ** 2
+
+    def test_attention_forward_backward(self, benchmark):
+        mha = nn.MultiHeadAttention(64, 4)
+        x_data = np.random.default_rng(0).normal(
+            size=(1, 256, 64)).astype(np.float32)
+
+        def step():
+            x = nn.Tensor(x_data, requires_grad=True)
+            y = mha(x)
+            (y * y).mean().backward()
+            return x.grad
+
+        g = benchmark(step)
+        assert np.isfinite(g).all()
+
+    def test_ring_allreduce_8x1m(self, benchmark):
+        bufs = [np.ones(1_000_000) for _ in range(8)]
+        cluster = SimCluster(8)
+        out, _ = benchmark(cluster.ring_all_reduce, bufs)
+        assert out[0][0] == 8.0
+
+
+class TestComplexityShape:
+    def test_apf_preprocess_scales_subquadratically_in_pixels(self, once):
+        """Build time is dominated by the O(Z^2) integral image + Canny, so
+        doubling resolution must cost ~4x, not the O((Z/P)^4) of attention."""
+        import time
+
+        def measure():
+            times = {}
+            for z in (128, 256, 512):
+                img = generate_wsi(z, seed=0).image
+                patcher = AdaptivePatcher(patch_size=4, split_value=8.0)
+                t0 = time.perf_counter()
+                for _ in range(3):
+                    patcher(img)
+                times[z] = (time.perf_counter() - t0) / 3
+            return times
+
+        times = once(measure)
+        print(f"\nAPF preprocess seconds/image: "
+              f"{ {z: round(t, 4) for z, t in times.items()} }")
+        ratio = times[512] / times[128]
+        assert ratio < 16 * 4  # far below quartic growth (256x)
+
+    def test_sequence_growth_sublinear_in_uniform_budget(self, once):
+        """Paper §III-A: APF sequence grows far slower than (Z/P)^2."""
+        def measure():
+            out = {}
+            for z in (64, 128, 256):
+                lens = [len(AdaptivePatcher(patch_size=4, split_value=8.0)(
+                    generate_wsi(z, seed=i).image)) for i in range(3)]
+                out[z] = float(np.mean(lens))
+            return out
+
+        lens = once(measure)
+        print(f"\nAPF sequence length by resolution: {lens}")
+        uniform_growth = (256 / 64) ** 2  # 16x budget growth
+        apf_growth = lens[256] / lens[64]
+        assert apf_growth < uniform_growth

@@ -1,0 +1,17 @@
+"""Fig. 1 regeneration: APF sequence reduction on pathology-like images.
+
+Paper: 512^2 at patch 4 → 4,096 uniform vs ~424 adaptive patches (~9.6x);
+attention compute/memory shrinks by roughly the square (~100x).
+"""
+
+
+def test_fig1_sequence_reduction(once):
+    from repro.experiments import run_fig1
+
+    r = once(run_fig1, resolution=128, patch_size=4, n_images=5)
+    print("\n" + r.rows())
+    # Shape assertions: order-of-magnitude agreement with the paper.
+    assert r.uniform_patches == 1024
+    assert 4.0 < r.sequence_reduction < 40.0
+    assert r.attention_reduction > 16.0
+    assert r.preprocess_seconds_mean < 1.0

@@ -1,0 +1,30 @@
+"""Fig. 3 regeneration: split value vs patch-size / sequence-length stats.
+
+Paper: halving v roughly halves the average patch size, while the average
+sequence length grows ~linearly (not quadratically) — avg sizes
+[30.73, 20.21, 9.37] and lengths [127.5, 286.9, 677.7] for v=[100, 50, 20].
+"""
+
+import numpy as np
+
+
+def test_fig3_split_value_scaling(once):
+    from repro.experiments import run_fig3
+
+    r = once(run_fig3, resolution=128, n_images=12,
+             split_values=(4.0, 8.0, 16.0, 32.0, 64.0))
+    print("\n" + r.rows())
+    print(f"seq-length vs 1/patch-size linearity R^2 = {r.linearity_r2():.3f}")
+    # Monotone shape: larger v → larger patches, shorter sequences.
+    assert r.avg_patch_size == sorted(r.avg_patch_size)
+    assert r.avg_seq_length == sorted(r.avg_seq_length, reverse=True)
+    # Empirically-linear growth claim: R^2 of length ~ 1/patch-size is high.
+    assert r.linearity_r2() > 0.9
+    # Quadratic growth would give length ratios ~ (size ratio)^2; measure the
+    # exponent and require it closer to linear than quadratic.
+    sizes = np.array(r.avg_patch_size)
+    lens = np.array(r.avg_seq_length)
+    exponent = np.polyfit(np.log(1 / sizes), np.log(lens), 1)[0]
+    print(f"log-log growth exponent = {exponent:.2f} "
+          f"(1.0 = linear, 2.0 = uniform-grid quadratic)")
+    assert exponent < 1.9  # clearly sub-quadratic across a wide v range

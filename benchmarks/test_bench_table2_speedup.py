@@ -1,0 +1,35 @@
+"""Table II regeneration: end-to-end speedup at matched quality.
+
+Measured section: real training of APF vs uniform patching on this
+substrate. Projected section: the paper's seven rows through the α–β cost
+model (encoder-FLOP upper bound).
+"""
+
+import pytest
+
+
+def test_table2_measured_speedup(once):
+    from repro.experiments import run_table2_measured
+
+    r = once(run_table2_measured)
+    print("\n" + r.rows())
+    # Who wins: APF, on both clocks. Paper: 7.48x / 12.71x at 512^2; at our
+    # 64^2 the quadratic term is milder, so we assert factor > 1.5 per epoch
+    # and > 1.0 on the same-dice-target clock.
+    assert r.speedup_sec_per_image > 1.5
+    assert r.speedup_convergence >= 1.0
+    # Matched quality: APF dice within 25% relative of uniform or better
+    # (paper: equal or better at every resolution).
+    assert r.dice_apf > r.dice_uniform * 0.75
+
+
+def test_table2_projection_all_rows(once):
+    from repro.experiments import run_table2_projection
+
+    r = once(run_table2_projection)
+    print("\n" + r.rows())
+    assert len(r.projection) == 7
+    for row in r.projection:
+        # The FLOP model upper-bounds the paper's measured speedups.
+        assert row.projected_speedup >= row.paper_speedup * 0.9
+    assert r.projected_geomean > 4.1  # paper's measured geomean is a floor

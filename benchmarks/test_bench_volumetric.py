@@ -1,0 +1,35 @@
+"""Volumetric (octree) APF extension bench: token reduction on 3-D CT.
+
+Not a paper artifact — the future-work direction DESIGN.md §6 documents:
+UNETR is natively 3-D, so the octree generalization shows how APF's savings
+compound with dimensionality (reduction ratios are cubed, not squared).
+"""
+
+import numpy as np
+
+
+def test_octree_token_reduction(once):
+    from repro.data import generate_ct_volume
+    from repro.patching import VolumetricAdaptivePatcher
+
+    def measure():
+        vol = generate_ct_volume(64, 64, seed=0)
+        seq = VolumetricAdaptivePatcher(patch_size=4, split_value=8.0)(
+            vol.volume)
+        uniform = (64 // 4) ** 3
+        return len(seq), uniform
+
+    n_apf, n_uniform = once(measure)
+    print(f"\noctree tokens {n_apf} vs uniform {n_uniform} "
+          f"({n_uniform / n_apf:.1f}x reduction, "
+          f"{(n_uniform / n_apf) ** 2:.0f}x attention reduction)")
+    assert n_apf < n_uniform / 2
+
+
+def test_octree_build_speed(benchmark):
+    from repro.quadtree import build_octree
+
+    rng = np.random.default_rng(0)
+    detail = (rng.random((64, 64, 64)) > 0.97).astype(float)
+    leaves = benchmark(build_octree, detail, 8.0, 4, 4)
+    assert leaves.covers_exactly()

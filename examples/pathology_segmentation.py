@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""High-resolution pathology segmentation with APF-UNETR (paper Tables II/III).
+
+Full workflow on the synthetic PAIP-like dataset: 0.7/0.1/0.2 splits, train
+APF-UNETR and uniform UNETR at the same model budget, compare dice and
+seconds/image, and dump qualitative PGM masks.
+
+Run:  python examples/pathology_segmentation.py [--resolution 64] [--epochs 6]
+"""
+
+import argparse
+import os
+
+import numpy as np
+
+from repro.experiments import ExperimentScale, write_pgm
+from repro.experiments.common import (make_trainer, make_unetr_task,
+                                      paip_splits)
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--resolution", type=int, default=64)
+    ap.add_argument("--epochs", type=int, default=6)
+    ap.add_argument("--out", default="artifacts")
+    args = ap.parse_args()
+
+    scale = ExperimentScale(resolution=args.resolution, n_samples=10,
+                            epochs=args.epochs, dim=32, depth=2)
+    train, val, test = paip_splits(scale)
+    print(f"dataset: {len(train)} train / {len(val)} val / {len(test)} test "
+          f"at {scale.resolution}^2")
+
+    results = {}
+    for name, adaptive, patch in [("APF-UNETR-2", True, 2),
+                                  ("UNETR-4", False, 4)]:
+        task = make_unetr_task(scale, patch, adaptive=adaptive)
+        trainer = make_trainer(task, scale)
+        hist = trainer.fit(train, val, epochs=scale.epochs, verbose=True)
+        dice = task.evaluate(test)
+        spi = float(np.mean(hist.epoch_seconds)) / len(train)
+        results[name] = (dice, spi, task)
+        print(f"{name}: test dice {dice:.2f}%  sec/image {spi:.4f}\n")
+
+    os.makedirs(args.out, exist_ok=True)
+    sample = test[0]
+    write_pgm(os.path.join(args.out, "input.pgm"), sample.image.mean(axis=2))
+    write_pgm(os.path.join(args.out, "ground_truth.pgm"), sample.mask)
+    for name, (dice, spi, task) in results.items():
+        probs = task.predict_probs(sample)[0]
+        write_pgm(os.path.join(args.out, f"{name.lower()}.pgm"), probs)
+    print(f"qualitative masks written to {args.out}/")
+
+    apf_dice, apf_spi, _ = results["APF-UNETR-2"]
+    uni_dice, uni_spi, _ = results["UNETR-4"]
+    print(f"\nsummary: APF dice {apf_dice:.2f} vs uniform {uni_dice:.2f}; "
+          f"APF uses patch 2 where detail lives at comparable cost "
+          f"({apf_spi / uni_spi:.2f}x relative sec/image)")
+
+
+if __name__ == "__main__":
+    main()

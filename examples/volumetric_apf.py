@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Volumetric APF: octree patching of a 3-D CT volume (extension).
+
+The paper patches 2-D slices; its carrier model UNETR is natively 3-D, so
+the octree generalization is the natural next step. This example builds a
+synthetic CT volume, partitions it adaptively, and shows how the token
+reduction compounds in 3-D.
+
+Run:  python examples/volumetric_apf.py
+"""
+
+import numpy as np
+
+from repro.data import generate_ct_volume
+from repro.models import ViTBackbone
+from repro.patching import VolumetricAdaptivePatcher
+
+
+def main() -> None:
+    vol = generate_ct_volume(resolution=64, slices=64, seed=0)
+    print(f"volume {vol.volume.shape}, "
+          f"{len(np.unique(vol.mask)) - 1} organ classes present")
+
+    patcher = VolumetricAdaptivePatcher(patch_size=4, split_value=8.0)
+    detail = patcher.detail_map(vol.volume)
+    print(f"detail voxels: {detail.mean():.1%} of the volume")
+
+    seq = patcher(vol.volume)
+    uniform = (64 // 4) ** 3
+    print(f"uniform 4^3 patches : {uniform}")
+    print(f"octree patches      : {len(seq)} "
+          f"({uniform / len(seq):.1f}x sequence reduction, "
+          f"{(uniform / len(seq)) ** 2:.0f}x attention reduction)")
+    print(f"cube-size histogram : "
+          f"{dict(zip(*np.unique(seq.sizes, return_counts=True)))}")
+
+    # The flattened 4^3 tokens feed the same transformer backbone unchanged.
+    model = ViTBackbone(token_dim=4 ** 3, dim=32, depth=2, heads=2,
+                        max_len=len(seq), use_coords=False)
+    out = model(seq.tokens()[None].astype(np.float32))
+    print(f"ViT over octree tokens: output {out.shape}")
+
+    # Round trip: scatter token means back and compare coarse structure.
+    rec = seq.scatter_to_volume(seq.patches)
+    err = np.abs(rec - vol.volume).mean()
+    print(f"reconstruction MAE at leaf granularity: {err:.4f}")
+
+
+if __name__ == "__main__":
+    main()

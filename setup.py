@@ -1,0 +1,16 @@
+"""Setuptools shim so `pip install -e .` works with older toolchains
+(the offline environment lacks the `wheel` package needed for PEP 517
+editable installs)."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=("Adaptive Patching for High-resolution Image Segmentation "
+                 "with Transformers (SC'24) - full reproduction"),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy>=1.22", "scipy>=1.8"],
+)

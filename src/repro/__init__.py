@@ -1,0 +1,34 @@
+"""Adaptive Patching for High-resolution Image Segmentation with Transformers.
+
+Reproduction of Zhang et al., SC 2024 (arXiv:2404.09707). The public API is
+organized by subsystem:
+
+* :mod:`repro.patching` — the Adaptive Patch Framework (the contribution)
+* :mod:`repro.nn` — NumPy autograd + transformer/conv layers
+* :mod:`repro.imaging` — Gaussian blur, Canny, resizing
+* :mod:`repro.quadtree` — quadtree/octree + Morton/Hilbert curves
+* :mod:`repro.data` — synthetic PAIP/BTCV/volume generators
+* :mod:`repro.models` — ViT, UNETR, U-Net, TransUNet, Swin, HIPT
+* :mod:`repro.train` — trainer, tasks, checkpointing, volumetric inference
+* :mod:`repro.metrics` — dice, IoU, accuracy
+* :mod:`repro.distributed` — simulated collectives + data parallelism
+* :mod:`repro.perf` — FLOP/memory/cost models
+* :mod:`repro.experiments` — per-table/figure runners (also a CLI:
+  ``python -m repro.experiments <artifact>``)
+
+Quick start::
+
+    from repro.data import generate_wsi
+    from repro.patching import AdaptivePatcher
+
+    sample = generate_wsi(resolution=64, seed=0)
+    seq = AdaptivePatcher(patch_size=4, split_value=2.0)(sample.image)
+"""
+
+__version__ = "1.0.0"
+
+from . import (data, distributed, imaging, metrics, models, nn, patching,
+               perf, quadtree, train)
+
+__all__ = ["nn", "imaging", "quadtree", "patching", "data", "models",
+           "train", "metrics", "distributed", "perf", "__version__"]

@@ -1,0 +1,22 @@
+"""``repro.data`` — synthetic dataset substrates (see DESIGN.md §1 for the
+substitution rationale: PAIP and BTCV are not redistributable/offline).
+
+* :mod:`repro.data.synthetic_paip` — pathology-like WSIs with lesion masks
+* :mod:`repro.data.synthetic_btcv` — CT-like slices with 13 organ classes
+* :mod:`repro.data.dataset` — lazy datasets, 0.7/0.1/0.2 splits, loader
+"""
+
+from .dataset import (DataLoader, Subset, SyntheticBTCV, SyntheticPAIP,
+                      train_val_test_split)
+from .synthetic_btcv import (BTCV_ORGANS, NUM_BTCV_CLASSES, BTCVSample,
+                             generate_ct_slice)
+from .synthetic_paip import NUM_ORGAN_CLASSES, PAIPSample, generate_wsi
+from .synthetic_volume import CTVolume, generate_ct_volume
+
+__all__ = [
+    "generate_wsi", "PAIPSample", "NUM_ORGAN_CLASSES",
+    "generate_ct_slice", "BTCVSample", "NUM_BTCV_CLASSES", "BTCV_ORGANS",
+    "generate_ct_volume", "CTVolume",
+    "SyntheticPAIP", "SyntheticBTCV", "Subset", "train_val_test_split",
+    "DataLoader",
+]

@@ -1,0 +1,136 @@
+"""Dataset / split / loader plumbing (paper §IV-B training protocol).
+
+Samples are generated lazily and deterministically from per-index seeds, so a
+"dataset" is just (kind, resolution, count, base_seed) — no disk needed, and
+two processes constructing the same dataset see identical samples (which is
+what makes the simulated data-parallel training in ``repro.distributed``
+exact).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .synthetic_btcv import BTCVSample, generate_ct_slice
+from .synthetic_paip import PAIPSample, generate_wsi
+
+__all__ = ["SyntheticPAIP", "SyntheticBTCV", "Subset", "train_val_test_split",
+           "DataLoader"]
+
+
+class SyntheticPAIP:
+    """Lazy PAIP-like dataset of ``n`` WSIs at a fixed resolution."""
+
+    def __init__(self, resolution: int, n: int, base_seed: int = 0,
+                 organ: Optional[int] = None):
+        if n < 1:
+            raise ValueError("dataset must contain at least one sample")
+        self.resolution = resolution
+        self.n = n
+        self.base_seed = base_seed
+        self.organ = organ
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __getitem__(self, i: int) -> PAIPSample:
+        if not 0 <= i < self.n:
+            raise IndexError(i)
+        return generate_wsi(self.resolution, seed=self.base_seed + i,
+                            organ=self.organ)
+
+
+class SyntheticBTCV:
+    """Lazy BTCV-like dataset: ``n_subjects`` scans x ``slices_per_subject``."""
+
+    def __init__(self, resolution: int, n_subjects: int,
+                 slices_per_subject: int = 1, base_seed: int = 0):
+        if n_subjects < 1 or slices_per_subject < 1:
+            raise ValueError("dataset must contain at least one sample")
+        self.resolution = resolution
+        self.n_subjects = n_subjects
+        self.slices = slices_per_subject
+        self.base_seed = base_seed
+
+    def __len__(self) -> int:
+        return self.n_subjects * self.slices
+
+    def __getitem__(self, i: int) -> BTCVSample:
+        if not 0 <= i < len(self):
+            raise IndexError(i)
+        subject, sl = divmod(i, self.slices)
+        return generate_ct_slice(self.resolution, seed=self.base_seed + subject,
+                                 slice_index=sl - self.slices // 2)
+
+
+class Subset:
+    """An index-remapped view of a dataset."""
+
+    def __init__(self, dataset, indices: Sequence[int]):
+        self.dataset = dataset
+        self.indices = list(indices)
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+    def __getitem__(self, i: int):
+        return self.dataset[self.indices[i]]
+
+
+def train_val_test_split(dataset, fractions: Tuple[float, float, float] = (0.7, 0.1, 0.2),
+                         seed: int = 0) -> Tuple[Subset, Subset, Subset]:
+    """Shuffled split per the paper: 0.7 train / 0.1 val / 0.2 test.
+
+    Every sample lands in exactly one split; rounding remainders go to train.
+    """
+    if abs(sum(fractions) - 1.0) > 1e-9:
+        raise ValueError(f"fractions must sum to 1, got {fractions}")
+    n = len(dataset)
+    order = np.random.default_rng(seed).permutation(n)
+    n_val = int(n * fractions[1])
+    n_test = int(n * fractions[2])
+    n_train = n - n_val - n_test
+    return (Subset(dataset, order[:n_train]),
+            Subset(dataset, order[n_train:n_train + n_val]),
+            Subset(dataset, order[n_train + n_val:]))
+
+
+class DataLoader:
+    """Minimal batching iterator over a dataset of sample objects.
+
+    Yields lists of samples (collation is model-specific in this codebase:
+    the adaptive patcher runs per image before batching tokens).
+    """
+
+    def __init__(self, dataset, batch_size: int = 1, shuffle: bool = False,
+                 seed: int = 0, drop_last: bool = False):
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.seed = seed
+        self.drop_last = drop_last
+        self._epoch = 0
+
+    def __len__(self) -> int:
+        n = len(self.dataset)
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[list]:
+        n = len(self.dataset)
+        if self.shuffle:
+            order = np.random.default_rng((self.seed, self._epoch)).permutation(n)
+            self._epoch += 1
+        else:
+            order = np.arange(n)
+        for start in range(0, n, self.batch_size):
+            idx = order[start:start + self.batch_size]
+            if self.drop_last and len(idx) < self.batch_size:
+                break
+            yield [self.dataset[int(i)] for i in idx]

@@ -1,0 +1,13 @@
+"""``repro.distributed`` — simulated multi-GPU substrate (DESIGN.md §1).
+
+* :mod:`repro.distributed.collectives` — real ring all-reduce on in-process buffers
+* :mod:`repro.distributed.data_parallel` — exact synchronous DP simulation
+* :mod:`repro.distributed.sequence_parallel` — Ulysses reference (comparison)
+"""
+
+from .collectives import CommStats, SimCluster
+from .data_parallel import DataParallelSimulator, StepReport
+from .sequence_parallel import UlyssesReport, ulysses_attention
+
+__all__ = ["SimCluster", "CommStats", "DataParallelSimulator", "StepReport",
+           "ulysses_attention", "UlyssesReport"]

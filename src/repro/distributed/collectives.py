@@ -1,0 +1,138 @@
+"""Simulated MPI-style collectives on in-process buffers.
+
+The Frontier runs of the paper use data parallelism over up to 2,048 GPUs.
+Offline we cannot launch ranks, but the *algorithms* are real: ring
+all-reduce is implemented step-by-step over per-rank NumPy buffers (chunked
+reduce-scatter + all-gather), so numerical results are bit-identical to what
+a real ring would produce, and per-step traffic is accounted for the cost
+model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+import numpy as np
+
+__all__ = ["CommStats", "SimCluster"]
+
+
+@dataclass
+class CommStats:
+    """Traffic accounting for one collective."""
+
+    bytes_sent_per_rank: float = 0.0
+    steps: int = 0
+
+    def merge(self, other: "CommStats") -> None:
+        self.bytes_sent_per_rank += other.bytes_sent_per_rank
+        self.steps += other.steps
+
+
+class SimCluster:
+    """A fixed-size group of simulated ranks."""
+
+    def __init__(self, world_size: int):
+        if world_size < 1:
+            raise ValueError("world_size must be >= 1")
+        self.world_size = world_size
+
+    # ------------------------------------------------------------------
+    def shard_indices(self, n: int, rank: int) -> np.ndarray:
+        """Contiguous near-even split of ``range(n)`` for ``rank``."""
+        if not 0 <= rank < self.world_size:
+            raise ValueError(f"rank {rank} out of range")
+        bounds = np.linspace(0, n, self.world_size + 1).astype(int)
+        return np.arange(bounds[rank], bounds[rank + 1])
+
+    # ------------------------------------------------------------------
+    def ring_all_reduce(self, rank_buffers: Sequence[np.ndarray]):
+        """Ring all-reduce (sum) over one buffer per rank.
+
+        Returns ``(list_of_reduced_buffers, CommStats)``. The reduction is
+        performed with the actual two-phase ring schedule: W-1 reduce-scatter
+        steps followed by W-1 all-gather steps over W chunks.
+        """
+        w = self.world_size
+        if len(rank_buffers) != w:
+            raise ValueError(f"expected {w} buffers, got {len(rank_buffers)}")
+        shapes = {b.shape for b in rank_buffers}
+        if len(shapes) != 1:
+            raise ValueError(f"buffers must share a shape, got {shapes}")
+        stats = CommStats()
+        if w == 1:
+            return [rank_buffers[0].copy()], stats
+
+        flat = [np.array(b, dtype=np.float64).ravel() for b in rank_buffers]
+        n = flat[0].size
+        chunk_bounds = np.linspace(0, n, w + 1).astype(int)
+
+        def chunk(r: int, c: int) -> slice:
+            return slice(chunk_bounds[c], chunk_bounds[c + 1])
+
+        bufs = [f.copy() for f in flat]
+        # Phase 1: reduce-scatter. After step s, rank r owns the running sum
+        # of chunk (r - s) mod w.
+        for step in range(w - 1):
+            transfers = []
+            for r in range(w):
+                c = (r - step) % w
+                dst = (r + 1) % w
+                transfers.append((dst, c, bufs[r][chunk(r, c)].copy()))
+                stats.bytes_sent_per_rank += (chunk_bounds[c + 1] - chunk_bounds[c]) * 8 / w
+            for dst, c, payload in transfers:
+                bufs[dst][chunk(dst, c)] += payload
+            stats.steps += 1
+        # Phase 2: all-gather the reduced chunks around the ring.
+        for step in range(w - 1):
+            transfers = []
+            for r in range(w):
+                c = (r + 1 - step) % w
+                dst = (r + 1) % w
+                transfers.append((dst, c, bufs[r][chunk(r, c)].copy()))
+                stats.bytes_sent_per_rank += (chunk_bounds[c + 1] - chunk_bounds[c]) * 8 / w
+            for dst, c, payload in transfers:
+                bufs[dst][chunk(dst, c)] = payload
+            stats.steps += 1
+
+        shape = rank_buffers[0].shape
+        return [b.reshape(shape) for b in bufs], stats
+
+    # ------------------------------------------------------------------
+    def all_gather(self, rank_buffers: Sequence[np.ndarray]):
+        """Every rank receives the concatenation of all rank buffers."""
+        w = self.world_size
+        if len(rank_buffers) != w:
+            raise ValueError(f"expected {w} buffers, got {len(rank_buffers)}")
+        gathered = np.concatenate([np.asarray(b).ravel() for b in rank_buffers])
+        per_rank = sum(np.asarray(b).nbytes for b in rank_buffers) * (w - 1) / w
+        return [gathered.copy() for _ in range(w)], CommStats(per_rank, w - 1)
+
+    def all_to_all(self, rank_buffers: Sequence[np.ndarray]):
+        """All-to-all (the Ulysses primitive): rank r sends chunk c of its
+        buffer to rank c and receives chunk r from everyone.
+
+        Each rank's buffer is split into ``world_size`` chunks along axis 0;
+        rank r's output is the concatenation of chunk r from every rank.
+        """
+        w = self.world_size
+        if len(rank_buffers) != w:
+            raise ValueError(f"expected {w} buffers, got {len(rank_buffers)}")
+        bufs = [np.asarray(b) for b in rank_buffers]
+        for b in bufs:
+            if b.shape[0] % w:
+                raise ValueError(f"axis 0 ({b.shape[0]}) must divide by "
+                                 f"world size {w}")
+        chunked = [np.split(b, w, axis=0) for b in bufs]
+        out = [np.concatenate([chunked[src][dst] for src in range(w)], axis=0)
+               for dst in range(w)]
+        per_rank = sum(b.nbytes for b in bufs) / w * (w - 1) / w
+        return out, CommStats(per_rank, 1)
+
+    def broadcast(self, buffer: np.ndarray):
+        """Root sends ``buffer`` to all ranks (tree schedule accounting)."""
+        w = self.world_size
+        steps = int(np.ceil(np.log2(w))) if w > 1 else 0
+        return ([np.asarray(buffer).copy() for _ in range(w)],
+                CommStats(float(np.asarray(buffer).nbytes) * steps / max(w, 1), steps))

@@ -1,0 +1,92 @@
+"""Ulysses-style sequence parallelism — a reference implementation.
+
+The paper contrasts APF with sequence-parallel systems (DeepSpeed Ulysses,
+LightSeq, RingAttention): they scale the *memory* of long sequences across
+GPUs but do not reduce total work. This module implements the Ulysses
+schedule over simulated ranks so the comparison in the benchmarks is against
+real algorithm semantics:
+
+1. Each rank holds a sequence shard of Q/K/V for all heads.
+2. All-to-all #1 re-shards so each rank holds the *full* sequence for
+   ``heads / world`` heads.
+3. Dense attention per rank (unchanged math).
+4. All-to-all #2 restores sequence sharding of the output.
+
+The test-suite asserts bit-level equivalence with single-device attention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["ulysses_attention", "UlyssesReport"]
+
+
+@dataclass
+class UlyssesReport:
+    """Traffic accounting for one Ulysses attention call."""
+
+    all_to_all_bytes_per_rank: float
+    flops_per_rank: float
+
+
+def _dense_attention(q: np.ndarray, k: np.ndarray, v: np.ndarray) -> np.ndarray:
+    """(H, N, Dh) dense softmax attention."""
+    dh = q.shape[-1]
+    scores = q @ np.swapaxes(k, -1, -2) / np.sqrt(dh)
+    scores -= scores.max(axis=-1, keepdims=True)
+    e = np.exp(scores)
+    attn = e / e.sum(axis=-1, keepdims=True)
+    return attn @ v
+
+
+def ulysses_attention(q: np.ndarray, k: np.ndarray, v: np.ndarray,
+                      world_size: int) -> Tuple[np.ndarray, UlyssesReport]:
+    """Multi-head attention computed with the Ulysses schedule.
+
+    Parameters
+    ----------
+    q, k, v:
+        (H, N, Dh) arrays. ``H`` and ``N`` must divide by ``world_size``.
+
+    Returns
+    -------
+    output:
+        (H, N, Dh), numerically identical to dense attention.
+    report:
+        Per-rank all-to-all traffic and attention FLOPs.
+    """
+    h, n, dh = q.shape
+    if world_size < 1:
+        raise ValueError("world_size must be >= 1")
+    if h % world_size or n % world_size:
+        raise ValueError(f"heads ({h}) and sequence ({n}) must divide by "
+                         f"world size ({world_size})")
+    w = world_size
+    if w == 1:
+        out = _dense_attention(q, k, v)
+        return out, UlyssesReport(0.0, 4.0 * h * n * n * dh)
+
+    seq_shard = n // w
+    head_shard = h // w
+    # Initial layout: rank r holds [:, r*seq_shard:(r+1)*seq_shard, :].
+    # All-to-all #1: rank r ends with heads [r*head_shard:(r+1)*head_shard]
+    # over the full sequence — equivalent to a (w x w) block transpose.
+    outputs = np.empty_like(q)
+    for r in range(w):
+        hq = q[r * head_shard:(r + 1) * head_shard]     # full seq, r's heads
+        hk = k[r * head_shard:(r + 1) * head_shard]
+        hv = v[r * head_shard:(r + 1) * head_shard]
+        outputs[r * head_shard:(r + 1) * head_shard] = _dense_attention(hq, hk, hv)
+
+    # Traffic: each rank exchanges (w-1)/w of its Q,K,V shard in a2a #1 and
+    # the same fraction of the output in a2a #2.
+    shard_bytes = 3 * head_shard * w * seq_shard * dh * q.itemsize
+    a2a1 = shard_bytes * (w - 1) / w
+    out_bytes = head_shard * w * seq_shard * dh * q.itemsize
+    a2a2 = out_bytes * (w - 1) / w
+    flops_per_rank = 4.0 * head_shard * n * n * dh
+    return outputs, UlyssesReport(a2a1 + a2a2, flops_per_rank)

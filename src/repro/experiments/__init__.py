@@ -1,0 +1,36 @@
+"""``repro.experiments`` — one runner per table and figure of the paper.
+
+| Runner | Paper artifact |
+|---|---|
+| :func:`run_fig1` | Fig. 1 sequence-reduction overview |
+| :func:`run_fig2` | Fig. 2 qualitative masks |
+| :func:`run_fig3` | Fig. 3 split-value sweep distributions |
+| :func:`run_fig4_models` / :func:`run_fig4_patch_sweep` | Fig. 4 loss curves |
+| :func:`run_table2_measured` / :func:`run_table2_projection` | Table II speedups |
+| :func:`run_table3` | Table III dice improvements |
+| :func:`run_table4` | Table IV BTCV multi-organ |
+| :func:`run_table5` | Table V classification |
+| :func:`run_overhead` | §IV-G.3 preprocessing overhead |
+"""
+
+from .common import ExperimentScale, format_table, geomean
+from .fig1 import Fig1Result, run_fig1
+from .fig2 import Fig2Result, ascii_mask, run_fig2, write_pgm
+from .fig3 import Fig3Result, run_fig3
+from .fig4 import Fig4Result, run_fig4_models, run_fig4_patch_sweep
+from .overhead import OverheadResult, run_overhead
+from .table2 import (PAPER_TABLE2, Table2Result, run_table2_measured,
+                     run_table2_projection)
+from .table3 import Table3Result, run_table3
+from .table4 import Table4Result, run_table4
+from .table5 import Table5Result, run_table5
+
+__all__ = [
+    "ExperimentScale", "format_table", "geomean",
+    "run_fig1", "Fig1Result", "run_fig2", "Fig2Result", "ascii_mask",
+    "write_pgm", "run_fig3", "Fig3Result", "run_fig4_models",
+    "run_fig4_patch_sweep", "Fig4Result", "run_overhead", "OverheadResult",
+    "run_table2_measured", "run_table2_projection", "Table2Result",
+    "PAPER_TABLE2", "run_table3", "Table3Result", "run_table4", "Table4Result",
+    "run_table5", "Table5Result",
+]

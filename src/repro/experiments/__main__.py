@@ -1,0 +1,66 @@
+"""Command-line experiment runner: regenerate any paper table/figure.
+
+Usage::
+
+    python -m repro.experiments fig1
+    python -m repro.experiments table2 --resolution 64 --epochs 8
+    python -m repro.experiments all
+
+Each run prints the regenerated table in the paper's row layout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from . import (ExperimentScale, run_fig1, run_fig2, run_fig3,
+               run_fig4_models, run_fig4_patch_sweep, run_overhead,
+               run_table2_measured, run_table2_projection, run_table3,
+               run_table4, run_table5)
+
+_RUNNERS = {
+    "fig1": lambda scale: run_fig1(resolution=max(scale.resolution, 128)),
+    "fig2": lambda scale: run_fig2(scale),
+    "fig3": lambda scale: run_fig3(resolution=max(scale.resolution, 128)),
+    "fig4-models": lambda scale: run_fig4_models(scale),
+    "fig4-patches": lambda scale: run_fig4_patch_sweep(scale),
+    "table2": lambda scale: run_table2_measured(scale),
+    "table2-projection": lambda scale: run_table2_projection(),
+    "table3": lambda scale: run_table3(scale),
+    "table4": lambda scale: run_table4(scale),
+    "table5": lambda scale: run_table5(),
+    "overhead": lambda scale: run_overhead(),
+}
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.")
+    ap.add_argument("experiment", choices=sorted(_RUNNERS) + ["all"],
+                    help="which artifact to regenerate")
+    ap.add_argument("--resolution", type=int, default=64)
+    ap.add_argument("--samples", type=int, default=10)
+    ap.add_argument("--epochs", type=int, default=8)
+    ap.add_argument("--dim", type=int, default=32)
+    ap.add_argument("--depth", type=int, default=3)
+    ap.add_argument("--seed", type=int, default=0)
+    args = ap.parse_args(argv)
+
+    scale = ExperimentScale(resolution=args.resolution, n_samples=args.samples,
+                            epochs=args.epochs, dim=args.dim,
+                            depth=args.depth, seed=args.seed)
+    names = sorted(_RUNNERS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        print(f"\n=== {name} ===")
+        t0 = time.perf_counter()
+        result = _RUNNERS[name](scale)
+        print(result.rows())
+        print(f"[{time.perf_counter() - t0:.1f}s]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,139 @@
+"""Shared infrastructure for the per-table/figure experiment runners.
+
+Every runner follows the same contract: a ``run_*`` function takes a
+:class:`ExperimentScale` (defaults are laptop-sized; the paper's scales are
+recorded alongside) and returns a result object with ``rows()`` for printing
+and raw fields for the benchmark assertions. EXPERIMENTS.md records
+paper-reported vs measured values for each.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .. import nn
+from ..data import SyntheticPAIP, generate_wsi, train_val_test_split
+from ..models import UNETR2D, ViTSegmenter
+from ..patching import AdaptivePatcher, UniformPatcher
+from ..train import Trainer, TokenSegmentationTask, UNETRTask
+
+__all__ = ["ExperimentScale", "format_table", "make_unetr_task",
+           "make_vit_token_task", "paip_splits", "geomean"]
+
+
+@dataclass
+class ExperimentScale:
+    """Knobs shrinking the paper's workloads to the measured substrate.
+
+    The defaults complete in seconds per experiment; raise them for closer
+    shapes (benchmarks use the defaults).
+    """
+
+    resolution: int = 32          #: image side (paper: 512 … 65,536)
+    n_samples: int = 10           #: dataset size (paper: 2,457 WSIs)
+    epochs: int = 4               #: training epochs (paper: 200-300)
+    dim: int = 24                 #: model width (paper: ViT-B-ish)
+    depth: int = 2                #: encoder depth (paper: 12)
+    heads: int = 2
+    batch_size: int = 2           #: paper: 16
+    lr: float = 3e-3
+    seed: int = 0
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean (the paper's headline aggregation for speedups)."""
+    v = np.asarray(list(values), dtype=float)
+    if len(v) == 0 or (v <= 0).any():
+        raise ValueError("geomean needs positive values")
+    return float(np.exp(np.log(v).mean()))
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Plain-text table matching the paper's row layout."""
+    cols = [[str(h)] + [str(r[i]) for r in rows] for i, h in enumerate(headers)]
+    widths = [max(len(c) for c in col) for col in cols]
+    def fmt(row):
+        return "  ".join(str(c).ljust(w) for c, w in zip(row, widths))
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines += [fmt(r) for r in rows]
+    return "\n".join(lines)
+
+
+def ensure_nonempty_splits(train: list, val: list, test: list):
+    """Guarantee non-empty val/test for tiny datasets by borrowing from train
+    (the 0.7/0.1/0.2 fractions round to zero below 10 samples)."""
+    if not val and len(train) > 1:
+        val.append(train.pop())
+    if not test and len(train) > 1:
+        test.append(train.pop())
+    if not test:
+        test = list(val)
+    return train, val, test
+
+
+def paip_splits(scale: ExperimentScale):
+    """Materialized 0.7/0.1/0.2 splits of the synthetic PAIP dataset."""
+    ds = SyntheticPAIP(scale.resolution, n=scale.n_samples, base_seed=scale.seed)
+    tr, va, te = train_val_test_split(ds, seed=scale.seed)
+    take = lambda sub: [sub[i] for i in range(len(sub))]
+    return ensure_nonempty_splits(take(tr), take(va), take(te))
+
+
+def natural_target_length(scale: ExperimentScale, patch: int,
+                          split_value: float, headroom: float = 1.25,
+                          probes: int = 3) -> int:
+    """Batching length for adaptive sequences: headroom above the empirical
+    natural length so the random-drop step fires rarely (dropping real leaves
+    punches coverage holes in training targets)."""
+    patcher = AdaptivePatcher(patch_size=patch, split_value=split_value,
+                              seed=scale.seed)
+    lens = []
+    for i in range(probes):
+        img = generate_wsi(scale.resolution, seed=scale.seed + i).image.mean(axis=2)
+        lens.append(len(patcher.extract_natural(img)))
+    cap = max((scale.resolution // patch) ** 2, 4)
+    return int(min(cap, max(8, np.ceil(max(lens) * headroom))))
+
+
+def make_unetr_task(scale: ExperimentScale, patch: int, adaptive: bool,
+                    split_value: float = 2.0,
+                    target_length: Optional[int] = None) -> UNETRTask:
+    """APF-UNETR or uniform-UNETR task at the given patch size."""
+    max_len = max((scale.resolution // patch) ** 2, 4)
+    model = UNETR2D(patch_size=patch, channels=1, dim=scale.dim,
+                    depth=scale.depth, heads=scale.heads, max_len=max_len,
+                    decoder_ch=8, rng=np.random.default_rng(scale.seed))
+    if adaptive:
+        if target_length is None:
+            target_length = natural_target_length(scale, patch, split_value)
+        patcher = AdaptivePatcher(patch_size=patch, split_value=split_value,
+                                  target_length=target_length, seed=scale.seed)
+    else:
+        patcher = UniformPatcher(patch)
+    return UNETRTask(model, patcher, channels=1)
+
+
+def make_vit_token_task(scale: ExperimentScale, patch: int, adaptive: bool,
+                        split_value: float = 2.0,
+                        target_length: Optional[int] = None) -> TokenSegmentationTask:
+    """APF-ViT or uniform-ViT token segmentation task."""
+    max_len = max((scale.resolution // patch) ** 2, 4)
+    model = ViTSegmenter(patch_size=patch, channels=1, dim=scale.dim,
+                         depth=scale.depth, heads=scale.heads, max_len=max_len,
+                         rng=np.random.default_rng(scale.seed))
+    if adaptive:
+        if target_length is None:
+            target_length = natural_target_length(scale, patch, split_value)
+        patcher = AdaptivePatcher(patch_size=patch, split_value=split_value,
+                                  target_length=target_length, seed=scale.seed)
+    else:
+        patcher = UniformPatcher(patch)
+    return TokenSegmentationTask(model, patcher, channels=1)
+
+
+def make_trainer(task, scale: ExperimentScale) -> Trainer:
+    opt = nn.AdamW(task.parameters(), lr=scale.lr)
+    return Trainer(task, opt, batch_size=scale.batch_size, seed=scale.seed)

@@ -1,0 +1,75 @@
+"""Figure 4: training stability vs model and patch size.
+
+Top row: U-Net vs UNETR vs APF-UNETR loss curves — APF-UNETR converges to a
+better, more stable solution. Bottom row: UNETR with patch sizes
+{4, 16, 64} — smaller patches converge more stably. We reproduce both
+panels at laptop scale and quantify "stability" as the std-dev of the last
+validation losses (:meth:`TrainingHistory.loss_stability`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..models import UNet
+from ..train import ImageSegmentationTask, TrainingHistory
+from .common import (ExperimentScale, format_table, make_trainer,
+                     make_unetr_task, paip_splits)
+
+__all__ = ["Fig4Result", "run_fig4_models", "run_fig4_patch_sweep"]
+
+
+@dataclass
+class Fig4Result:
+    histories: Dict[str, TrainingHistory] = field(default_factory=dict)
+
+    def stability(self, name: str, last_k: int = 3) -> float:
+        return self.histories[name].loss_stability(last_k)
+
+    def final_val_loss(self, name: str) -> float:
+        return self.histories[name].val_loss[-1]
+
+    def rows(self) -> str:
+        return format_table(
+            ["run", "final val loss", "stability (std)", "best dice"],
+            [[name, f"{h.val_loss[-1]:.4f}", f"{h.loss_stability(3):.4f}",
+              f"{h.best_metric:.2f}"] for name, h in self.histories.items()])
+
+
+def run_fig4_models(scale: Optional[ExperimentScale] = None,
+                    apf_patch: int = 2, unetr_patch: int = 8) -> Fig4Result:
+    """Top panel: U-Net vs UNETR-large-patch vs APF-UNETR-small-patch."""
+    scale = scale or ExperimentScale(epochs=5)
+    train, val, _ = paip_splits(scale)
+    out = Fig4Result()
+
+    task = ImageSegmentationTask(
+        UNet(channels=1, widths=(8, 16), rng=np.random.default_rng(scale.seed)),
+        channels=1)
+    out.histories["U-Net"] = make_trainer(task, scale).fit(
+        train, val, epochs=scale.epochs)
+
+    task = make_unetr_task(scale, unetr_patch, adaptive=False)
+    out.histories[f"UNETR-{unetr_patch}"] = make_trainer(task, scale).fit(
+        train, val, epochs=scale.epochs)
+
+    task = make_unetr_task(scale, apf_patch, adaptive=True)
+    out.histories[f"APF-UNETR-{apf_patch}"] = make_trainer(task, scale).fit(
+        train, val, epochs=scale.epochs)
+    return out
+
+
+def run_fig4_patch_sweep(scale: Optional[ExperimentScale] = None,
+                         patches: Sequence[int] = (2, 4, 8)) -> Fig4Result:
+    """Bottom panel: uniform UNETR at increasing patch sizes (stability study)."""
+    scale = scale or ExperimentScale(epochs=5)
+    train, val, _ = paip_splits(scale)
+    out = Fig4Result()
+    for p in patches:
+        task = make_unetr_task(scale, p, adaptive=False)
+        out.histories[f"UNETR-{p}"] = make_trainer(task, scale).fit(
+            train, val, epochs=scale.epochs)
+    return out

@@ -1,0 +1,66 @@
+"""Section IV-G.3: APF preprocessing overhead is negligible.
+
+The paper reports whole-dataset preprocessing times of
+[4.2, 7.6, 37.2, 127.4, 286.6] seconds for resolutions
+[512, 1K, 4K, 32K, 64K] — hours of training vs seconds of preprocessing.
+This runner measures our patcher's per-image preprocessing time across
+resolutions and compares it against one measured training epoch.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from .. import nn
+from ..data import generate_wsi
+from ..patching import AdaptivePatcher
+from ..train import Trainer
+from .common import ExperimentScale, format_table, make_vit_token_task
+
+__all__ = ["OverheadResult", "run_overhead"]
+
+
+@dataclass
+class OverheadResult:
+    resolutions: List[int]
+    preprocess_seconds: List[float]       #: per image
+    epoch_seconds_per_image: float        #: measured at the smallest resolution
+    overhead_fraction: float              #: preprocess / (epochs * epoch time)
+
+    def rows(self) -> str:
+        rows = [[z, f"{t:.4f}"] for z, t in zip(self.resolutions,
+                                                self.preprocess_seconds)]
+        rows.append(["epoch sec/image (train)",
+                     f"{self.epoch_seconds_per_image:.4f}"])
+        rows.append(["overhead / 200-epoch training",
+                     f"{self.overhead_fraction * 100:.3f}%"])
+        return format_table(["resolution", "seconds"], rows)
+
+
+def run_overhead(resolutions: Sequence[int] = (32, 64, 128, 256),
+                 n_images: int = 3, seed: int = 0) -> OverheadResult:
+    """Measure preprocessing seconds/image per resolution and compare with a
+    measured training epoch (the amortization argument)."""
+    pre: List[float] = []
+    for z in resolutions:
+        patcher = AdaptivePatcher(patch_size=4, split_value=8.0, seed=seed)
+        images = [generate_wsi(z, seed=seed + i).image for i in range(n_images)]
+        t0 = time.perf_counter()
+        for img in images:
+            patcher(img)
+        pre.append((time.perf_counter() - t0) / n_images)
+
+    scale = ExperimentScale(resolution=int(resolutions[0]), n_samples=4,
+                            epochs=1, seed=seed)
+    task = make_vit_token_task(scale, patch=4, adaptive=True)
+    trainer = Trainer(task, nn.AdamW(task.parameters(), lr=scale.lr),
+                      batch_size=2, seed=seed)
+    samples = [generate_wsi(scale.resolution, seed=seed + i) for i in range(4)]
+    spi = trainer.seconds_per_image(samples)
+    # Preprocessing runs once; training runs for (paper) 200 epochs.
+    overhead = pre[0] / max(200 * spi, 1e-12)
+    return OverheadResult(list(resolutions), pre, spi, overhead)

@@ -1,0 +1,140 @@
+"""Table II: end-to-end training speedup of APF at matched segmentation quality.
+
+Two complementary reproductions:
+
+* **Measured** — real end-to-end training of APF-UNETR vs uniform-UNETR on
+  this repository's substrate at laptop scale: seconds/image and
+  time-to-convergence speedups, mirroring the two speedup columns.
+* **Projected** — the paper's seven resolution rows (512^2 … 65,536^2, 1 to
+  2,048 GPUs) evaluated with the calibrated α–β cost model using the paper's
+  own sequence lengths. The encoder-FLOP ratio is an *upper bound* on the
+  speedup (the paper's measured 2.3-7.6x include linear-cost pipeline stages);
+  both bounds and the paper's numbers are reported side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..perf import CostModel, TransformerConfig, training_flops
+from .common import (ExperimentScale, format_table, geomean, make_trainer,
+                     make_unetr_task, make_vit_token_task, paip_splits)
+
+__all__ = ["Table2Row", "Table2Result", "run_table2_measured",
+           "run_table2_projection", "PAPER_TABLE2"]
+
+#: Paper Table II: (resolution, GPUs, APF patch, APF seq len, UNETR patch,
+#: UNETR seq len, paper speedup sec/img, paper speedup to-convergence).
+PAPER_TABLE2 = [
+    (512,   1,    4,  1024, 4,   16384, 7.48, 12.71),
+    (1024,  8,    8,  1024, 8,   16384, 7.60, 12.92),
+    (4096,  128,  16, 2116, 32,  16384, 5.77, 9.80),
+    (8192,  256,  16, 2116, 64,  16384, 2.29, 3.89),
+    (16384, 512,  32, 1024, 128, 16384, 2.90, 4.93),
+    (32768, 1024, 32, 2116, 256, 16384, 3.79, 6.44),
+    (65536, 2048, 32, 4096, 512, 16384, 2.30, 3.91),
+]
+
+
+@dataclass
+class Table2Row:
+    resolution: int
+    gpus: int
+    apf_seq: int
+    unetr_seq: int
+    paper_speedup: float
+    projected_speedup: float
+
+
+@dataclass
+class Table2Result:
+    # Measured section.
+    sec_per_image_apf: float = 0.0
+    sec_per_image_uniform: float = 0.0
+    speedup_sec_per_image: float = 0.0
+    speedup_convergence: float = 0.0
+    dice_apf: float = 0.0
+    dice_uniform: float = 0.0
+    # Projected section.
+    projection: List[Table2Row] = field(default_factory=list)
+
+    @property
+    def projected_geomean(self) -> float:
+        return geomean([r.projected_speedup for r in self.projection]) \
+            if self.projection else float("nan")
+
+    def rows(self) -> str:
+        head = format_table(
+            ["quantity", "paper", "measured"],
+            [
+                ["speedup (sec/image)", "7.48x @512", f"{self.speedup_sec_per_image:.2f}x"],
+                ["speedup (to convergence)", "12.71x @512",
+                 f"{self.speedup_convergence:.2f}x"],
+                ["APF dice", "77.88", f"{self.dice_apf:.2f}"],
+                ["UNETR dice", "77.31", f"{self.dice_uniform:.2f}"],
+            ])
+        if not self.projection:
+            return head
+        proj = format_table(
+            ["res", "GPUs", "APF seq", "UNETR seq", "paper x", "model x (upper bound)"],
+            [[r.resolution, r.gpus, r.apf_seq, r.unetr_seq,
+              f"{r.paper_speedup:.2f}", f"{r.projected_speedup:.1f}"]
+             for r in self.projection])
+        return head + "\n\n" + proj
+
+
+def run_table2_measured(scale: Optional[ExperimentScale] = None,
+                        patch: int = 4, split_value: float = 2.0,
+                        carrier: str = "vit") -> Table2Result:
+    """Train APF vs uniform patching to measure both speedup columns.
+
+    ``carrier`` selects the model the patching feeds: ``"vit"`` (default)
+    is encoder-bound — the regime the paper's speedups come from — while
+    ``"unetr"`` adds the convolutional decoder, whose NumPy constant factors
+    dominate at laptop scale and mask the attention savings (documented
+    substitution; see EXPERIMENTS.md).
+    """
+    scale = scale or ExperimentScale(resolution=64, dim=32, depth=3, epochs=8)
+    train, val, _ = paip_splits(scale)
+    make = make_vit_token_task if carrier == "vit" else make_unetr_task
+
+    task_apf = make(scale, patch, adaptive=True, split_value=split_value)
+    tr_apf = make_trainer(task_apf, scale)
+    hist_apf = tr_apf.fit(train, val, epochs=scale.epochs)
+
+    task_uni = make(scale, patch, adaptive=False)
+    tr_uni = make_trainer(task_uni, scale)
+    hist_uni = tr_uni.fit(train, val, epochs=scale.epochs)
+
+    spi_apf = float(np.mean(hist_apf.epoch_seconds)) / len(train)
+    spi_uni = float(np.mean(hist_uni.epoch_seconds)) / len(train)
+    # The paper's second column clocks both runs against the *same* dice
+    # target (Table II uses the baseline's best); take the common achievable
+    # score so plateaued baselines don't trivially "converge" to garbage.
+    target = min(hist_apf.best_metric, hist_uni.best_metric) * 0.98
+    t_conv_apf = hist_apf.time_to_target(target)
+    t_conv_uni = hist_uni.time_to_target(target)
+    return Table2Result(
+        sec_per_image_apf=spi_apf,
+        sec_per_image_uniform=spi_uni,
+        speedup_sec_per_image=spi_uni / spi_apf,
+        speedup_convergence=t_conv_uni / max(t_conv_apf, 1e-12),
+        dice_apf=hist_apf.best_metric,
+        dice_uniform=hist_uni.best_metric,
+    )
+
+
+def run_table2_projection(dim: int = 768, depth: int = 12,
+                          cost_model: Optional[CostModel] = None) -> Table2Result:
+    """Project all seven paper rows with the cost model (encoder upper bound)."""
+    cm = cost_model or CostModel()
+    out = Table2Result()
+    for (res, gpus, p_apf, l_apf, p_uni, l_uni, s_img, s_conv) in PAPER_TABLE2:
+        cfg_apf = TransformerConfig(l_apf, dim, depth)
+        cfg_uni = TransformerConfig(l_uni, dim, depth)
+        speedup = cm.speedup(cfg_uni, cfg_apf, world_base=gpus, world_new=gpus)
+        out.projection.append(Table2Row(res, gpus, l_apf, l_uni, s_img, speedup))
+    return out

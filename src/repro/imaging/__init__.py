@@ -1,0 +1,20 @@
+"""``repro.imaging`` — image-processing substrate for APF preprocessing.
+
+Implements the exact pipeline of paper §III-A step 1: Gaussian blur followed
+by Canny edge detection, plus the resize kernels APF's patch downscaling
+(step 4') uses. Everything is pure vectorized NumPy/SciPy.
+"""
+
+from .filters import gaussian_blur, gaussian_kernel1d, sobel_gradients
+from .canny import canny_edges
+from .resize import (downscale_pow2, pad_to_pow2, resize_area,
+                     resize_bilinear, resize_nearest)
+from .normalize import normalize01, to_grayscale
+
+__all__ = [
+    "gaussian_blur", "gaussian_kernel1d", "sobel_gradients",
+    "canny_edges",
+    "resize_area", "resize_bilinear", "resize_nearest", "downscale_pow2",
+    "pad_to_pow2",
+    "normalize01", "to_grayscale",
+]

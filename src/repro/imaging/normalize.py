@@ -1,0 +1,31 @@
+"""Intensity normalization helpers (paper §IV-B: inputs normalized to [0,1])."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["normalize01", "to_grayscale"]
+
+#: ITU-R BT.601 luma weights.
+_LUMA = np.array([0.299, 0.587, 0.114])
+
+
+def normalize01(img: np.ndarray) -> np.ndarray:
+    """Linearly rescale to [0, 1]; constant images map to zeros."""
+    a = np.asarray(img, dtype=np.float64)
+    lo, hi = a.min(), a.max()
+    if hi - lo < 1e-12:
+        return np.zeros_like(a)
+    return (a - lo) / (hi - lo)
+
+
+def to_grayscale(img: np.ndarray) -> np.ndarray:
+    """Collapse an (H, W, 3) RGB image to (H, W) luma; pass 2-D through."""
+    a = np.asarray(img, dtype=np.float64)
+    if a.ndim == 2:
+        return a
+    if a.ndim == 3 and a.shape[2] == 3:
+        return a @ _LUMA
+    if a.ndim == 3 and a.shape[2] == 1:
+        return a[:, :, 0]
+    raise ValueError(f"cannot convert shape {a.shape} to grayscale")

@@ -1,0 +1,125 @@
+"""Image resizing kernels used by APF patch downscaling (paper step 4').
+
+APF projects variable-size quadtree patches (powers of two) down to a common
+minimum patch size ``Pm``. Power-of-two area reduction is the common case and
+has a dedicated exact fast path (:func:`downscale_pow2`); generic area and
+bilinear resampling are provided for dataset preparation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["downscale_pow2", "resize_area", "resize_bilinear",
+           "resize_nearest", "pad_to_pow2"]
+
+
+def pad_to_pow2(img: np.ndarray, mode: str = "edge"):
+    """Pad an arbitrary (H, W[, C]) image to the next power-of-two square.
+
+    The quadtree (and therefore :class:`~repro.patching.AdaptivePatcher`)
+    requires power-of-two squares, matching the paper's preprocessed dataset;
+    this helper adapts arbitrary inputs. Returns ``(padded, (H, W))`` so
+    predictions can be cropped back with ``pred[:H, :W]``.
+    """
+    a = np.asarray(img)
+    if a.ndim not in (2, 3):
+        raise ValueError(f"expected 2-D or 3-D image, got shape {a.shape}")
+    h, w = a.shape[:2]
+    side = 1 << max(int(np.ceil(np.log2(max(h, w, 1)))), 0)
+    pad = [(0, side - h), (0, side - w)] + [(0, 0)] * (a.ndim - 2)
+    return np.pad(a, pad, mode=mode), (h, w)
+
+
+def downscale_pow2(img: np.ndarray, factor: int) -> np.ndarray:
+    """Exact area downscale by an integer ``factor`` dividing both dims.
+
+    Works on (H, W) or (H, W, C) or a leading-batched (..., H, W) layout where
+    the two trailing axes are spatial only when ``img.ndim == 2``; for channel
+    images pass (H, W, C).
+    """
+    if factor == 1:
+        return np.asarray(img, dtype=np.float64).copy()
+    a = np.asarray(img, dtype=np.float64)
+    if a.ndim == 2:
+        h, w = a.shape
+        if h % factor or w % factor:
+            raise ValueError(f"dims {a.shape} not divisible by {factor}")
+        return a.reshape(h // factor, factor, w // factor, factor).mean(axis=(1, 3))
+    if a.ndim == 3:
+        h, w, c = a.shape
+        if h % factor or w % factor:
+            raise ValueError(f"dims {a.shape} not divisible by {factor}")
+        return a.reshape(h // factor, factor, w // factor, factor, c).mean(axis=(1, 3))
+    raise ValueError(f"expected 2-D or 3-D image, got shape {a.shape}")
+
+
+def resize_area(img: np.ndarray, out_h: int, out_w: int) -> np.ndarray:
+    """Area (box) resampling for arbitrary integer shrink ratios.
+
+    Falls back to bilinear when upscaling is requested in either dimension.
+    """
+    a = np.asarray(img, dtype=np.float64)
+    h, w = a.shape[:2]
+    if out_h > h or out_w > w:
+        return resize_bilinear(a, out_h, out_w)
+    if h % out_h == 0 and w % out_w == 0 and h // out_h == w // out_w:
+        return downscale_pow2(a, h // out_h)
+    # General box filter: average over fractional source boxes via cumsum.
+    ys = np.linspace(0, h, out_h + 1)
+    xs = np.linspace(0, w, out_w + 1)
+    ci = np.cumsum(np.cumsum(a, axis=0), axis=1)
+    ci = np.pad(ci, [(1, 0), (1, 0)] + [(0, 0)] * (a.ndim - 2))
+
+    def box_sum(y0, y1, x0, x1):
+        # Integral-image lookup with bilinear interpolation at fractional coords.
+        def at(yy, xx):
+            y0i = np.clip(np.floor(yy).astype(int), 0, h)
+            x0i = np.clip(np.floor(xx).astype(int), 0, w)
+            y1i = np.clip(y0i + 1, 0, h)
+            x1i = np.clip(x0i + 1, 0, w)
+            fy = (yy - y0i).reshape(-1, 1, *([1] * (a.ndim - 2)))
+            fx = (xx - x0i).reshape(1, -1, *([1] * (a.ndim - 2)))
+            v00 = ci[np.ix_(y0i, x0i)]
+            v01 = ci[np.ix_(y0i, x1i)]
+            v10 = ci[np.ix_(y1i, x0i)]
+            v11 = ci[np.ix_(y1i, x1i)]
+            return (v00 * (1 - fy) * (1 - fx) + v01 * (1 - fy) * fx
+                    + v10 * fy * (1 - fx) + v11 * fy * fx)
+
+        return at(y1, x1) - at(y0, x1) - at(y1, x0) + at(y0, x0)
+
+    sums = box_sum(ys[:-1], ys[1:], xs[:-1], xs[1:])
+    areas = np.outer(np.diff(ys), np.diff(xs)).reshape(
+        out_h, out_w, *([1] * (a.ndim - 2)))
+    return sums / areas
+
+
+def resize_bilinear(img: np.ndarray, out_h: int, out_w: int) -> np.ndarray:
+    """Bilinear resampling with half-pixel centers (align_corners=False)."""
+    a = np.asarray(img, dtype=np.float64)
+    h, w = a.shape[:2]
+    ys = (np.arange(out_h) + 0.5) * h / out_h - 0.5
+    xs = (np.arange(out_w) + 0.5) * w / out_w - 0.5
+    y0 = np.clip(np.floor(ys).astype(int), 0, h - 1)
+    x0 = np.clip(np.floor(xs).astype(int), 0, w - 1)
+    y1 = np.clip(y0 + 1, 0, h - 1)
+    x1 = np.clip(x0 + 1, 0, w - 1)
+    fy = np.clip(ys - y0, 0, 1).reshape(-1, 1, *([1] * (a.ndim - 2)))
+    fx = np.clip(xs - x0, 0, 1).reshape(1, -1, *([1] * (a.ndim - 2)))
+    v00 = a[np.ix_(y0, x0)]
+    v01 = a[np.ix_(y0, x1)]
+    v10 = a[np.ix_(y1, x0)]
+    v11 = a[np.ix_(y1, x1)]
+    return (v00 * (1 - fy) * (1 - fx) + v01 * (1 - fy) * fx
+            + v10 * fy * (1 - fx) + v11 * fy * fx)
+
+
+def resize_nearest(img: np.ndarray, out_h: int, out_w: int) -> np.ndarray:
+    """Nearest-neighbour resampling (used for label masks, which must stay
+    categorical)."""
+    a = np.asarray(img)
+    h, w = a.shape[:2]
+    ys = np.clip(((np.arange(out_h) + 0.5) * h / out_h).astype(int), 0, h - 1)
+    xs = np.clip(((np.arange(out_w) + 0.5) * w / out_w).astype(int), 0, w - 1)
+    return a[np.ix_(ys, xs)]

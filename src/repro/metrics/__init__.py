@@ -1,0 +1,8 @@
+"""``repro.metrics`` — evaluation metrics (paper §IV-E)."""
+
+from .segmentation import (dice_score, iou_score, per_class_dice,
+                           pixel_accuracy)
+from .classification import top1_accuracy
+
+__all__ = ["dice_score", "per_class_dice", "iou_score", "pixel_accuracy",
+           "top1_accuracy"]

@@ -1,0 +1,18 @@
+"""Classification metrics (paper Table V reports top-1 accuracy)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["top1_accuracy"]
+
+
+def top1_accuracy(pred_labels, true_labels) -> float:
+    """Top-1 accuracy in percent."""
+    p = np.asarray(pred_labels)
+    t = np.asarray(true_labels)
+    if p.shape != t.shape:
+        raise ValueError(f"shape mismatch: {p.shape} vs {t.shape}")
+    if p.size == 0:
+        raise ValueError("empty prediction array")
+    return float(100.0 * (p == t).mean())

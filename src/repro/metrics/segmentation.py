@@ -1,0 +1,80 @@
+"""Segmentation metrics.
+
+The paper's quantitative metric is the dice similarity coefficient
+``Dice(X, Y) = 2|X ∩ Y| / (|X| + |Y|)`` reported in percent; Table IV
+averages dice over the 13 BTCV organ classes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["dice_score", "per_class_dice", "iou_score", "pixel_accuracy"]
+
+
+def _binarize(pred: np.ndarray, threshold: Optional[float]) -> np.ndarray:
+    p = np.asarray(pred)
+    if threshold is not None:
+        return p > threshold
+    return p.astype(bool)
+
+
+def dice_score(pred: np.ndarray, target: np.ndarray,
+               threshold: Optional[float] = 0.5) -> float:
+    """Binary dice in percent.
+
+    ``pred`` may be probabilities (thresholded at ``threshold``) or a boolean
+    mask (pass ``threshold=None``). Two empty masks score 100.
+    """
+    p = _binarize(pred, threshold)
+    t = np.asarray(target).astype(bool)
+    if p.shape != t.shape:
+        raise ValueError(f"shape mismatch: {p.shape} vs {t.shape}")
+    inter = np.logical_and(p, t).sum()
+    denom = p.sum() + t.sum()
+    if denom == 0:
+        return 100.0
+    return float(200.0 * inter / denom)
+
+
+def per_class_dice(pred_classes: np.ndarray, target_classes: np.ndarray,
+                   num_classes: int, skip_background: bool = True) -> np.ndarray:
+    """Dice per class from integer class maps; absent classes score NaN.
+
+    Table IV convention: the reported number is ``np.nanmean`` over the 13
+    organ classes (background skipped).
+    """
+    p = np.asarray(pred_classes)
+    t = np.asarray(target_classes)
+    if p.shape != t.shape:
+        raise ValueError(f"shape mismatch: {p.shape} vs {t.shape}")
+    start = 1 if skip_background else 0
+    out = np.full(num_classes - start, np.nan)
+    for k in range(start, num_classes):
+        pk, tk = p == k, t == k
+        denom = pk.sum() + tk.sum()
+        if denom:
+            out[k - start] = 200.0 * np.logical_and(pk, tk).sum() / denom
+    return out
+
+
+def iou_score(pred: np.ndarray, target: np.ndarray,
+              threshold: Optional[float] = 0.5) -> float:
+    """Binary intersection-over-union in percent; empty/empty scores 100."""
+    p = _binarize(pred, threshold)
+    t = np.asarray(target).astype(bool)
+    union = np.logical_or(p, t).sum()
+    if union == 0:
+        return 100.0
+    return float(100.0 * np.logical_and(p, t).sum() / union)
+
+
+def pixel_accuracy(pred_classes: np.ndarray, target_classes: np.ndarray) -> float:
+    """Fraction of pixels with the correct class, in percent."""
+    p = np.asarray(pred_classes)
+    t = np.asarray(target_classes)
+    if p.shape != t.shape:
+        raise ValueError(f"shape mismatch: {p.shape} vs {t.shape}")
+    return float(100.0 * (p == t).mean())

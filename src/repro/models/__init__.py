@@ -1,0 +1,23 @@
+"""``repro.models`` — the model zoo of the paper's evaluation.
+
+Every segmentation model consumes either raw images (U-Net, TransUNet, Swin)
+or :class:`~repro.patching.PatchSequence` batches (ViT, UNETR) — the latter
+work with uniform *and* adaptive patching unchanged, which is the paper's
+central compatibility claim.
+"""
+
+from .embedding import PatchEmbedding, collate_sequences
+from .hipt import HIPTLite
+from .scatter import scatter_tokens_to_grid, token_index_map
+from .swin import SwinUNETRLite
+from .transunet import TransUNetLite
+from .unet import UNet
+from .unetr import UNETR2D
+from .vit import ViTBackbone, ViTClassifier, ViTSegmenter
+
+__all__ = [
+    "PatchEmbedding", "collate_sequences",
+    "ViTBackbone", "ViTSegmenter", "ViTClassifier",
+    "UNETR2D", "UNet", "TransUNetLite", "SwinUNETRLite", "HIPTLite",
+    "scatter_tokens_to_grid", "token_index_map",
+]

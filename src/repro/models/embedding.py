@@ -1,0 +1,91 @@
+"""Token embedding for patch sequences (uniform or adaptive).
+
+The embedding layer is the *only* place APF touches the model stack, and even
+here nothing structural changes: tokens are linearly projected exactly as in
+ViT. Positional information comes from a learned per-index table (paper
+setting — Morton order makes indices spatially meaningful) optionally
+augmented with a geometry embedding of each patch's (center, scale), which we
+add as an extension and ablate.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .. import nn
+from ..patching import PatchSequence
+
+__all__ = ["PatchEmbedding", "collate_sequences"]
+
+
+def collate_sequences(seqs: Sequence[PatchSequence]):
+    """Stack per-image sequences into batch arrays.
+
+    All sequences must share length, patch size, and channel count (use
+    ``APFConfig.target_length`` to equalize adaptive lengths).
+
+    Returns
+    -------
+    tokens: (B, L, C*Pm*Pm) float64
+    coords: (B, L, 3) float64
+    valid:  (B, L) bool
+    """
+    lengths = {len(s) for s in seqs}
+    if len(lengths) != 1:
+        raise ValueError(f"sequences have mixed lengths {sorted(lengths)}; "
+                         "set APFConfig.target_length to batch adaptive sequences")
+    tokens = np.stack([s.tokens() for s in seqs])
+    coords = np.stack([s.coords() for s in seqs])
+    valid = np.stack([s.valid for s in seqs])
+    return tokens, coords, valid
+
+
+class PatchEmbedding(nn.Module):
+    """Linear patch projection + positional embeddings.
+
+    Parameters
+    ----------
+    token_dim:
+        Flattened patch length ``C * Pm * Pm``.
+    dim:
+        Model width.
+    max_len:
+        Size of the learned positional table (max sequence length).
+    use_coords:
+        Add a geometry embedding of (cy, cx, log2 size) — APF extension.
+    """
+
+    def __init__(self, token_dim: int, dim: int, max_len: int,
+                 use_coords: bool = True,
+                 rng: Optional[np.random.Generator] = None, dtype=np.float32):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.proj = nn.Linear(token_dim, dim, rng=rng, dtype=dtype)
+        self.pos = nn.Parameter(
+            (rng.normal(0, 0.02, size=(max_len, dim))).astype(dtype))
+        self.use_coords = use_coords
+        self.coord_proj = nn.Linear(3, dim, rng=rng, dtype=dtype) if use_coords else None
+        self.max_len = max_len
+        self.dtype = dtype
+
+    def forward(self, tokens: np.ndarray, coords: Optional[np.ndarray] = None,
+                valid: Optional[np.ndarray] = None) -> nn.Tensor:
+        """Embed (B, L, T) numpy tokens into a (B, L, D) tensor.
+
+        Padding positions (``valid == False``) are zeroed after embedding so
+        they contribute nothing to attention values.
+        """
+        b, length, _ = tokens.shape
+        if length > self.max_len:
+            raise ValueError(f"sequence length {length} exceeds positional "
+                             f"table size {self.max_len}")
+        x = self.proj(nn.Tensor(tokens.astype(self.dtype)))
+        x = x + self.pos[:length]
+        if self.use_coords and coords is not None:
+            x = x + self.coord_proj(nn.Tensor(coords.astype(self.dtype)))
+        if valid is not None:
+            mask = valid.astype(self.dtype)[:, :, None]
+            x = x * nn.Tensor(mask)
+        return x

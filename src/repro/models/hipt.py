@@ -1,0 +1,89 @@
+"""HIPT-lite: two-level hierarchical ViT classifier (Chen et al., CVPR'22).
+
+The Table V competitor: HIPT tackles gigapixel images by training a pyramid
+of ViTs — a low-level ViT embeds small regions, a high-level ViT aggregates
+region embeddings. This is the pattern the paper contrasts with APF ("train
+multiple models at different resolutions" vs "one model + preprocessing").
+
+Faithful two-level reduction: a shared region ViT (level 1) embeds each
+``region_size``-pixel tile with uniform patches; a global ViT (level 2)
+attends over the tile-embedding grid and classifies.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .. import nn
+from .embedding import PatchEmbedding
+
+__all__ = ["HIPTLite"]
+
+
+class HIPTLite(nn.Module):
+    def __init__(self, image_size: int, channels: int = 3,
+                 region_size: int = 16, patch_size: int = 4,
+                 dim: int = 48, depth1: int = 2, depth2: int = 2,
+                 heads: int = 4, num_classes: int = 6,
+                 rng: Optional[np.random.Generator] = None, dtype=np.float32):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        if image_size % region_size:
+            raise ValueError(f"region_size {region_size} must divide image "
+                             f"size {image_size}")
+        if region_size % patch_size:
+            raise ValueError(f"patch_size {patch_size} must divide region "
+                             f"size {region_size}")
+        self.image_size = image_size
+        self.region_size = region_size
+        self.patch_size = patch_size
+        self.channels = channels
+        self.regions_per_side = image_size // region_size
+        tokens_per_region = (region_size // patch_size) ** 2
+        token_dim = channels * patch_size * patch_size
+        self.embed1 = PatchEmbedding(token_dim, dim, tokens_per_region,
+                                     use_coords=False, rng=rng, dtype=dtype)
+        self.level1 = nn.TransformerEncoder(dim, depth1, heads, mlp_ratio=2.0,
+                                            rng=rng, dtype=dtype)
+        n_regions = self.regions_per_side ** 2
+        self.pos2 = nn.Parameter(rng.normal(0, 0.02, size=(n_regions, dim)).astype(dtype))
+        self.level2 = nn.TransformerEncoder(dim, depth2, heads, mlp_ratio=2.0,
+                                            rng=rng, dtype=dtype)
+        self.head = nn.Linear(dim, num_classes, rng=rng, dtype=dtype)
+        self.num_classes = num_classes
+        self.dtype = dtype
+
+    def _tokenize(self, images: np.ndarray) -> np.ndarray:
+        """(B, C, Z, Z) -> (B*R^2, tokens_per_region, token_dim) numpy."""
+        b, c, z, _ = images.shape
+        r, p = self.region_size, self.patch_size
+        nr = z // r
+        np_per = r // p
+        # (B, C, nr, np_per, p, nr, np_per, p) -> regions x patches.
+        x = images.reshape(b, c, nr, np_per, p, nr, np_per, p)
+        x = x.transpose(0, 2, 5, 3, 6, 1, 4, 7)  # (B, nr, nr, np, np, C, p, p)
+        return x.reshape(b * nr * nr, np_per * np_per, c * p * p)
+
+    def forward(self, images) -> nn.Tensor:
+        """(B, C, Z, Z) -> (B, num_classes) logits."""
+        imgs = np.asarray(images, dtype=self.dtype)
+        b = imgs.shape[0]
+        if imgs.shape[2] != self.image_size:
+            raise ValueError(f"expected image size {self.image_size}, "
+                             f"got {imgs.shape[2]}")
+        tokens = self._tokenize(imgs)
+        x = self.embed1(tokens)                       # (B*R^2, L1, D)
+        x = self.level1(x)
+        region_emb = x.mean(axis=1)                   # (B*R^2, D)
+        n_regions = self.regions_per_side ** 2
+        r = region_emb.reshape(b, n_regions, -1)
+        r = r + self.pos2
+        r = self.level2(r)
+        return self.head(r.mean(axis=1))
+
+    def predict(self, image: np.ndarray) -> int:
+        with nn.no_grad():
+            logits = self.forward(image[None])
+        return int(np.argmax(logits.data[0]))

@@ -1,0 +1,71 @@
+"""Differentiable token→grid scatter for decoder-style models.
+
+UNETR-like decoders need regular spatial feature maps. With uniform patching
+the token sequence *is* a grid; with APF the layout is irregular, so each
+token's feature vector is broadcast over its quadtree-leaf footprint on a
+``Z/cell`` grid. The scatter is a pure gather in the forward direction
+(every grid cell reads from exactly one token), so autograd routes gradients
+back to tokens through the fancy-indexing op.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from .. import nn
+from ..patching import PatchSequence
+
+__all__ = ["token_index_map", "scatter_tokens_to_grid"]
+
+
+def token_index_map(seq: PatchSequence, cell: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-cell source-token index and coverage mask for one sequence.
+
+    Returns
+    -------
+    idx:
+        (G, G) int array; cell (i, j) reads token ``idx[i, j]``. Cells not
+        covered by any retained token point at token 0 but are masked out.
+    mask:
+        (G, G) float; 1.0 where covered, 0.0 in holes (dropped leaves).
+    """
+    z = seq.image_size
+    if z % cell:
+        raise ValueError(f"cell {cell} must divide image size {z}")
+    g = z // cell
+    idx = np.zeros((g, g), dtype=np.int64)
+    mask = np.zeros((g, g), dtype=np.float64)
+    for i in np.flatnonzero(seq.valid):
+        s = int(seq.sizes[i])
+        y0, x0 = int(seq.ys[i]) // cell, int(seq.xs[i]) // cell
+        span = max(s // cell, 1)
+        idx[y0:y0 + span, x0:x0 + span] = i
+        mask[y0:y0 + span, x0:x0 + span] = 1.0
+    return idx, mask
+
+
+def scatter_tokens_to_grid(features: nn.Tensor, seqs: Sequence[PatchSequence],
+                           cell: int) -> nn.Tensor:
+    """Scatter (B, L, D) token features to (B, D, G, G) spatial maps.
+
+    Differentiable w.r.t. ``features``; holes receive zeros and no gradient.
+    """
+    b, length, d = features.shape
+    if len(seqs) != b:
+        raise ValueError(f"batch mismatch: features batch {b} vs {len(seqs)} sequences")
+    maps = []
+    masks = []
+    for seq in seqs:
+        if len(seq) != length:
+            raise ValueError("sequence length mismatch with feature tensor")
+        idx, mask = token_index_map(seq, cell)
+        maps.append(idx)
+        masks.append(mask)
+    idx = np.stack(maps)                                  # (B, G, G)
+    mask = np.stack(masks)[:, None, :, :]                 # (B, 1, G, G)
+    batch_idx = np.arange(b)[:, None, None]
+    grid = features[batch_idx, idx]                       # (B, G, G, D) gather
+    grid = grid.transpose(0, 3, 1, 2)                     # (B, D, G, G)
+    return grid * nn.Tensor(mask.astype(grid.dtype))

@@ -1,0 +1,164 @@
+"""Swin-UNETR-lite: shifted-window transformer encoder + UNETR-style decoder.
+
+Reduced-width reproduction of Swin UNETR (Tang et al., Table IV baseline).
+Window attention computes dense self-attention *inside* non-overlapping
+``w x w`` windows; alternating blocks shift the grid by ``w/2`` so
+information crosses window boundaries. Per the lite simplification, shifted
+windows skip the boundary attention mask (wrap-around tokens may attend to
+each other); at the window sizes used here the effect is negligible and is
+documented in DESIGN.md.
+
+Note: the paper's Swin-UNETR row is also pre-trained on five external
+datasets — we train from scratch, so Table IV reproduces the *from-scratch*
+ordering (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .. import nn
+
+__all__ = ["SwinUNETRLite"]
+
+
+def _roll2d(x: nn.Tensor, shift: int, axes=(1, 2)) -> nn.Tensor:
+    """torch.roll equivalent for (B, H, W, D) tensors via slice + concat."""
+    if shift == 0:
+        return x
+    for ax in axes:
+        n = x.shape[ax]
+        s = shift % n
+        if s == 0:
+            continue
+        idx_a = [slice(None)] * len(x.shape)
+        idx_b = [slice(None)] * len(x.shape)
+        idx_a[ax] = slice(n - s, n)
+        idx_b[ax] = slice(0, n - s)
+        x = nn.concat([x[tuple(idx_a)], x[tuple(idx_b)]], axis=ax)
+    return x
+
+
+class _SwinBlock(nn.Module):
+    """One (optionally shifted) window-attention transformer block."""
+
+    def __init__(self, dim: int, heads: int, window: int, shift: int,
+                 rng: np.random.Generator, dtype=np.float32):
+        super().__init__()
+        self.window = window
+        self.shift = shift
+        self.norm1 = nn.LayerNorm(dim, dtype=dtype)
+        self.attn = nn.MultiHeadAttention(dim, heads, rng=rng, dtype=dtype)
+        self.norm2 = nn.LayerNorm(dim, dtype=dtype)
+        self.mlp = nn.MLP(dim, dim * 2, rng=rng, dtype=dtype)
+
+    def forward(self, x: nn.Tensor) -> nn.Tensor:
+        """x: (B, H, W, D) token grid."""
+        b, h, w, d = x.shape
+        win = self.window
+        if h % win or w % win:
+            raise ValueError(f"grid ({h},{w}) not divisible by window {win}")
+        shortcut = x
+        x = self.norm1(x)
+        if self.shift:
+            x = _roll2d(x, -self.shift)
+        # Partition into windows: (B*nW, win*win, D).
+        nh, nw = h // win, w // win
+        xw = (x.reshape(b, nh, win, nw, win, d)
+              .transpose(0, 1, 3, 2, 4, 5)
+              .reshape(b * nh * nw, win * win, d))
+        xw = self.attn(xw)
+        x = (xw.reshape(b, nh, nw, win, win, d)
+             .transpose(0, 1, 3, 2, 4, 5)
+             .reshape(b, h, w, d))
+        if self.shift:
+            x = _roll2d(x, self.shift)
+        x = shortcut + x
+        return x + self.mlp(self.norm2(x))
+
+
+class _PatchMerging(nn.Module):
+    """2x2 neighbourhood concat + linear reduction: (H,W,D) -> (H/2,W/2,2D)."""
+
+    def __init__(self, dim: int, rng: np.random.Generator, dtype=np.float32):
+        super().__init__()
+        self.norm = nn.LayerNorm(4 * dim, dtype=dtype)
+        self.reduce = nn.Linear(4 * dim, 2 * dim, bias=False, rng=rng, dtype=dtype)
+
+    def forward(self, x: nn.Tensor) -> nn.Tensor:
+        b, h, w, d = x.shape
+        if h % 2 or w % 2:
+            raise ValueError(f"grid ({h},{w}) must be even for merging")
+        x = (x.reshape(b, h // 2, 2, w // 2, 2, d)
+             .transpose(0, 1, 3, 2, 4, 5)
+             .reshape(b, h // 2, w // 2, 4 * d))
+        return self.reduce(self.norm(x))
+
+
+class SwinUNETRLite(nn.Module):
+    """Two-stage Swin encoder with a convolutional skip decoder."""
+
+    def __init__(self, channels: int = 1, out_channels: int = 1,
+                 patch_size: int = 4, dim: int = 32, heads: int = 4,
+                 window: int = 4, rng: Optional[np.random.Generator] = None,
+                 dtype=np.float32):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.patch_size = patch_size
+        self.embed = nn.Conv2d(channels, dim, kernel=patch_size,
+                               stride=patch_size, rng=rng, dtype=dtype)
+        self.stage1 = nn.ModuleList([
+            _SwinBlock(dim, heads, window, 0, rng, dtype),
+            _SwinBlock(dim, heads, window, window // 2, rng, dtype),
+        ])
+        self.merge = _PatchMerging(dim, rng, dtype)
+        self.stage2 = nn.ModuleList([
+            _SwinBlock(dim * 2, heads, window, 0, rng, dtype),
+            _SwinBlock(dim * 2, heads, window, window // 2, rng, dtype),
+        ])
+        # Decoder: stage2 (Z/2p) -> up -> +stage1 (Z/p) -> up x log2(p) -> Z.
+        self.up1 = nn.ConvTranspose2d(dim * 2, dim, kernel=2, stride=2,
+                                      rng=rng, dtype=dtype)
+        self.fuse1 = nn.Conv2d(dim * 2, dim, kernel=3, padding=1, rng=rng, dtype=dtype)
+        self.gn1 = nn.GroupNorm(4 if dim % 4 == 0 else 1, dim, dtype=dtype)
+        ups = []
+        for _ in range(int(np.log2(patch_size))):
+            ups.append(nn.ConvTranspose2d(dim, dim, kernel=2, stride=2,
+                                          rng=rng, dtype=dtype))
+        self.ups = nn.ModuleList(ups)
+        self.stem = nn.Conv2d(channels, dim, kernel=3, padding=1, rng=rng, dtype=dtype)
+        self.fuse0 = nn.Conv2d(dim * 2, dim, kernel=3, padding=1, rng=rng, dtype=dtype)
+        self.gn0 = nn.GroupNorm(4 if dim % 4 == 0 else 1, dim, dtype=dtype)
+        self.out_conv = nn.Conv2d(dim, out_channels, kernel=1, rng=rng, dtype=dtype)
+        self.dtype = dtype
+
+    def forward(self, images) -> nn.Tensor:
+        """(B, C, Z, Z) -> (B, out_channels, Z, Z) logits."""
+        x = images if isinstance(images, nn.Tensor) else nn.Tensor(
+            np.asarray(images, dtype=self.dtype))
+        g = self.embed(x)                              # (B, D, G, G)
+        b, d, gh, gw = g.shape
+        t = g.reshape(b, d, gh * gw).transpose(0, 2, 1).reshape(b, gh, gw, d)
+        for blk in self.stage1:
+            t = blk(t)
+        s1 = t
+        t = self.merge(t)
+        for blk in self.stage2:
+            t = blk(t)
+        # Back to NCHW.
+        f2 = t.transpose(0, 3, 1, 2)
+        f1 = s1.transpose(0, 3, 1, 2)
+        y = self.up1(f2)
+        y = self.gn1(self.fuse1(nn.concat([y, f1], axis=1))).relu()
+        for up in self.ups:
+            y = up(y)
+        stem = self.stem(x)
+        y = self.gn0(self.fuse0(nn.concat([y, stem], axis=1))).relu()
+        return self.out_conv(y)
+
+    def predict_mask(self, image: np.ndarray) -> np.ndarray:
+        with nn.no_grad():
+            logits = self.forward(image[None])
+        return 1.0 / (1.0 + np.exp(-logits.data[0]))

@@ -1,0 +1,80 @@
+"""TransUNet-lite (Chen et al. 2021): CNN stem -> transformer bottleneck ->
+convolutional decoder with skip connections.
+
+Faithful at reduced width: the hybrid encoder downsamples 4x with
+convolutions, runs dense self-attention on the resulting feature grid, and
+decodes with two transposed-conv stages using the stem activations as skips.
+Used as a baseline in Tables III and IV.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .. import nn
+
+__all__ = ["TransUNetLite"]
+
+
+class TransUNetLite(nn.Module):
+    def __init__(self, channels: int = 1, out_channels: int = 1,
+                 stem_ch: int = 16, dim: int = 64, depth: int = 2,
+                 heads: int = 4, max_hw: int = 256,
+                 rng: Optional[np.random.Generator] = None, dtype=np.float32):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.conv1 = nn.Conv2d(channels, stem_ch, kernel=3, stride=2, padding=1,
+                               rng=rng, dtype=dtype)
+        self.n1 = nn.GroupNorm(4 if stem_ch % 4 == 0 else 1, stem_ch, dtype=dtype)
+        self.conv2 = nn.Conv2d(stem_ch, stem_ch * 2, kernel=3, stride=2, padding=1,
+                               rng=rng, dtype=dtype)
+        self.n2 = nn.GroupNorm(4 if (stem_ch * 2) % 4 == 0 else 1, stem_ch * 2,
+                               dtype=dtype)
+        self.proj_in = nn.Linear(stem_ch * 2, dim, rng=rng, dtype=dtype)
+        self.pos = nn.Parameter(rng.normal(0, 0.02, size=(max_hw, dim)).astype(dtype))
+        self.encoder = nn.TransformerEncoder(dim, depth, heads, mlp_ratio=2.0,
+                                             rng=rng, dtype=dtype)
+        self.proj_out = nn.Linear(dim, stem_ch * 2, rng=rng, dtype=dtype)
+        self.up1 = nn.ConvTranspose2d(stem_ch * 2, stem_ch, kernel=2, stride=2,
+                                      rng=rng, dtype=dtype)
+        self.dec1 = nn.Conv2d(stem_ch * 2, stem_ch, kernel=3, padding=1,
+                              rng=rng, dtype=dtype)
+        self.nd1 = nn.GroupNorm(4 if stem_ch % 4 == 0 else 1, stem_ch, dtype=dtype)
+        self.up2 = nn.ConvTranspose2d(stem_ch, stem_ch, kernel=2, stride=2,
+                                      rng=rng, dtype=dtype)
+        self.dec2 = nn.Conv2d(stem_ch, stem_ch, kernel=3, padding=1,
+                              rng=rng, dtype=dtype)
+        self.nd2 = nn.GroupNorm(4 if stem_ch % 4 == 0 else 1, stem_ch, dtype=dtype)
+        self.out_conv = nn.Conv2d(stem_ch, out_channels, kernel=1, rng=rng,
+                                  dtype=dtype)
+        self.max_hw = max_hw
+        self.dtype = dtype
+
+    def forward(self, images) -> nn.Tensor:
+        """(B, C, Z, Z) -> (B, out_channels, Z, Z) logits."""
+        x = images if isinstance(images, nn.Tensor) else nn.Tensor(
+            np.asarray(images, dtype=self.dtype))
+        s1 = self.n1(self.conv1(x)).relu()           # (B, c, Z/2, Z/2)
+        s2 = self.n2(self.conv2(s1)).relu()          # (B, 2c, Z/4, Z/4)
+        b, c2, h, w = s2.shape
+        n = h * w
+        if n > self.max_hw:
+            raise ValueError(f"feature grid {n} exceeds positional table "
+                             f"{self.max_hw}; raise max_hw")
+        tokens = s2.reshape(b, c2, n).transpose(0, 2, 1)   # (B, N, 2c)
+        t = self.proj_in(tokens) + self.pos[:n]
+        t = self.encoder(t)
+        t = self.proj_out(t)                          # (B, N, 2c)
+        f = t.transpose(0, 2, 1).reshape(b, c2, h, w)
+        y = self.up1(f)                               # (B, c, Z/2)
+        y = self.nd1(self.dec1(nn.concat([y, s1], axis=1))).relu()
+        y = self.up2(y)                               # (B, c, Z)
+        y = self.nd2(self.dec2(y)).relu()
+        return self.out_conv(y)
+
+    def predict_mask(self, image: np.ndarray) -> np.ndarray:
+        with nn.no_grad():
+            logits = self.forward(image[None])
+        return 1.0 / (1.0 + np.exp(-logits.data[0]))

@@ -1,0 +1,87 @@
+"""Classic U-Net (Ronneberger et al.) — the convolutional baseline of
+Tables III/IV. Operates directly on images; no patching involved."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .. import nn
+from ..nn import functional as F
+
+__all__ = ["UNet"]
+
+
+class _ConvBlock(nn.Module):
+    """(conv3x3 -> GN -> ReLU) x 2."""
+
+    def __init__(self, in_ch: int, out_ch: int, rng: np.random.Generator,
+                 dtype=np.float32):
+        super().__init__()
+        self.c1 = nn.Conv2d(in_ch, out_ch, kernel=3, padding=1, rng=rng, dtype=dtype)
+        self.n1 = nn.GroupNorm(_g(out_ch), out_ch, dtype=dtype)
+        self.c2 = nn.Conv2d(out_ch, out_ch, kernel=3, padding=1, rng=rng, dtype=dtype)
+        self.n2 = nn.GroupNorm(_g(out_ch), out_ch, dtype=dtype)
+
+    def forward(self, x: nn.Tensor) -> nn.Tensor:
+        x = self.n1(self.c1(x)).relu()
+        return self.n2(self.c2(x)).relu()
+
+
+def _g(ch: int) -> int:
+    for g in (8, 4, 2, 1):
+        if ch % g == 0:
+            return g
+    return 1
+
+
+class UNet(nn.Module):
+    """Encoder-decoder with skip connections.
+
+    ``widths`` controls depth: e.g. (16, 32, 64) gives two 2x downsamplings.
+    """
+
+    def __init__(self, channels: int = 1, out_channels: int = 1,
+                 widths=(16, 32, 64), rng: Optional[np.random.Generator] = None,
+                 dtype=np.float32):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        if len(widths) < 2:
+            raise ValueError("UNet needs at least two width levels")
+        self.enc = nn.ModuleList([])
+        prev = channels
+        for w in widths:
+            self.enc.append(_ConvBlock(prev, w, rng, dtype))
+            prev = w
+        self.up = nn.ModuleList([])
+        self.dec = nn.ModuleList([])
+        rev = list(widths)[::-1]
+        for i in range(len(widths) - 1):
+            self.up.append(nn.ConvTranspose2d(rev[i], rev[i + 1], kernel=2,
+                                              stride=2, rng=rng, dtype=dtype))
+            self.dec.append(_ConvBlock(rev[i + 1] * 2, rev[i + 1], rng, dtype))
+        self.out_conv = nn.Conv2d(widths[0], out_channels, kernel=1, rng=rng,
+                                  dtype=dtype)
+        self.dtype = dtype
+
+    def forward(self, images) -> nn.Tensor:
+        """(B, C, Z, Z) images -> (B, out_channels, Z, Z) logits."""
+        x = images if isinstance(images, nn.Tensor) else nn.Tensor(
+            np.asarray(images, dtype=self.dtype))
+        skips = []
+        for i, block in enumerate(self.enc):
+            x = block(x)
+            if i < len(self.enc) - 1:
+                skips.append(x)
+                x = F.max_pool2d(x, 2)
+        for up, dec, skip in zip(self.up, self.dec, reversed(skips)):
+            x = up(x)
+            x = dec(nn.concat([x, skip], axis=1))
+        return self.out_conv(x)
+
+    def predict_mask(self, image: np.ndarray) -> np.ndarray:
+        """Inference probabilities (out_channels, Z, Z) for one (C, Z, Z) image."""
+        with nn.no_grad():
+            logits = self.forward(image[None])
+        return 1.0 / (1.0 + np.exp(-logits.data[0]))

@@ -1,0 +1,152 @@
+"""UNETR (Hatamizadeh et al.) in 2-D — the paper's primary baseline/carrier.
+
+Architecture: a ViT encoder whose intermediate hidden states feed a
+convolutional decoder through skip connections. The paper swaps UNETR's 3-D
+conv/deconv blocks for 2-D ones and changes nothing else; we do the same.
+
+APF integration: token features (both the bottleneck and every tapped hidden
+state) are scattered onto a ``Z/Pm`` grid through the quadtree geometry
+(:mod:`repro.models.scatter`), after which the decoder is the standard stack
+of transposed convolutions. With uniform patching the scatter degenerates to
+a reshape, so one code path serves both (paper's "seamless integration").
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .. import nn
+from ..patching import PatchSequence
+from .embedding import PatchEmbedding, collate_sequences
+from .scatter import scatter_tokens_to_grid
+
+__all__ = ["UNETR2D"]
+
+
+class _DecoderBlock(nn.Module):
+    """ConvTranspose 2x upsample -> concat skip -> conv -> GN -> ReLU."""
+
+    def __init__(self, in_ch: int, skip_ch: int, out_ch: int,
+                 rng: np.random.Generator, dtype=np.float32):
+        super().__init__()
+        self.up = nn.ConvTranspose2d(in_ch, out_ch, kernel=2, stride=2,
+                                     rng=rng, dtype=dtype)
+        self.conv = nn.Conv2d(out_ch + skip_ch, out_ch, kernel=3, padding=1,
+                              rng=rng, dtype=dtype)
+        self.norm = nn.GroupNorm(_groups_for(out_ch), out_ch, dtype=dtype)
+
+    def forward(self, x: nn.Tensor, skip: Optional[nn.Tensor]) -> nn.Tensor:
+        x = self.up(x)
+        if skip is not None:
+            x = nn.concat([x, skip], axis=1)
+        return self.norm(self.conv(x)).relu()
+
+
+def _groups_for(ch: int) -> int:
+    for g in (8, 4, 2, 1):
+        if ch % g == 0:
+            return g
+    return 1
+
+
+class UNETR2D(nn.Module):
+    """2-D UNETR that accepts any :class:`PatchSequence` layout.
+
+    Parameters
+    ----------
+    patch_size:
+        Model patch size ``Pm``; the decoder performs ``log2(Pm)`` 2x
+        upsampling stages from the token grid back to full resolution.
+    channels:
+        Input image channels.
+    dim, depth, heads:
+        ViT encoder configuration. Hidden states are tapped at
+        ``depth * i / stages`` for the decoder skips (the 2-D analogue of
+        UNETR's z3/z6/z9/z12 taps).
+    """
+
+    def __init__(self, patch_size: int, channels: int = 1, dim: int = 64,
+                 depth: int = 4, heads: int = 4, max_len: int = 1024,
+                 out_channels: int = 1, decoder_ch: int = 32,
+                 use_coords: bool = True,
+                 rng: Optional[np.random.Generator] = None, dtype=np.float32):
+        super().__init__()
+        if patch_size < 2 or patch_size & (patch_size - 1):
+            raise ValueError(f"patch_size must be a power of two >= 2, got {patch_size}")
+        rng = rng or np.random.default_rng(0)
+        self.patch_size = patch_size
+        self.channels = channels
+        self.out_channels = out_channels
+        self.stages = int(math.log2(patch_size))
+        token_dim = channels * patch_size * patch_size
+        self.embed = PatchEmbedding(token_dim, dim, max_len,
+                                    use_coords=use_coords, rng=rng, dtype=dtype)
+        self.encoder = nn.TransformerEncoder(dim, depth, heads, mlp_ratio=2.0,
+                                             rng=rng, dtype=dtype)
+        # Tap hidden states evenly: stage i uses layer round(depth*(i+1)/stages).
+        self.skip_layers = sorted({max(1, round(depth * (i + 1) / self.stages))
+                                   for i in range(self.stages - 1)})
+        self.bottleneck = nn.Conv2d(dim, decoder_ch * 2, kernel=3, padding=1,
+                                    rng=rng, dtype=dtype)
+        self.skip_projs = nn.ModuleList([
+            nn.Conv2d(dim, decoder_ch, kernel=1, rng=rng, dtype=dtype)
+            for _ in self.skip_layers
+        ])
+        # Every stage concatenates a decoder_ch-wide skip: intermediate stages
+        # use projected ViT taps, the last stage uses the raw-image stem.
+        self.blocks = nn.ModuleList([])
+        ch = decoder_ch * 2
+        for _ in range(self.stages):
+            self.blocks.append(_DecoderBlock(ch, decoder_ch, decoder_ch,
+                                             rng=rng, dtype=dtype))
+            ch = decoder_ch
+        self.stem = nn.Conv2d(channels, decoder_ch, kernel=3, padding=1,
+                              rng=rng, dtype=dtype)
+        self.out_conv = nn.Conv2d(decoder_ch, out_channels, kernel=1,
+                                  rng=rng, dtype=dtype)
+        self.dtype = dtype
+
+    def forward(self, tokens: np.ndarray, coords: Optional[np.ndarray],
+                valid: Optional[np.ndarray], seqs: Sequence[PatchSequence],
+                images: np.ndarray) -> nn.Tensor:
+        """Full-resolution logits (B, out_channels, Z, Z).
+
+        ``images`` is the raw batch (B, C, Z, Z) used for the stem skip.
+        """
+        x = self.embed(tokens, coords, valid)
+        if self.skip_layers:
+            feats, hidden = self.encoder(x, return_hidden=self.skip_layers,
+                                         key_mask=valid)
+        else:  # patch_size == 2: single decoder stage, stem skip only
+            feats, hidden = self.encoder(x, key_mask=valid), []
+        cell = self.patch_size
+        y = self.bottleneck(scatter_tokens_to_grid(feats, seqs, cell))
+        skips: List[nn.Tensor] = [
+            proj(scatter_tokens_to_grid(h, seqs, cell))
+            for proj, h in zip(self.skip_projs, hidden)
+        ]
+        img_t = nn.Tensor(np.asarray(images, dtype=self.dtype))
+        stem = self.stem(img_t)
+        for i, block in enumerate(self.blocks):
+            if i == self.stages - 1:
+                skip = stem
+            else:
+                # Skip maps live on the Pm grid; upsample to this stage's res.
+                s = skips[len(skips) - 1 - i]
+                skip = nn.functional.upsample_nearest2d(s, 2 ** (i + 1))
+            y = block(y, skip)
+        return self.out_conv(y)
+
+    def forward_sequences(self, seqs: Sequence[PatchSequence],
+                          images: np.ndarray) -> nn.Tensor:
+        tokens, coords, valid = collate_sequences(seqs)
+        return self.forward(tokens, coords, valid, seqs, images)
+
+    def predict_mask(self, seq: PatchSequence, image: np.ndarray) -> np.ndarray:
+        """Inference probabilities (out_channels, Z, Z) for one image."""
+        with nn.no_grad():
+            logits = self.forward_sequences([seq], image[None])
+        return 1.0 / (1.0 + np.exp(-logits.data[0]))

@@ -1,0 +1,123 @@
+"""Vanilla ViT backbone plus segmentation / classification heads.
+
+The backbone is the unmodified ViT of Dosovitskiy et al. — APF's contract is
+that the attention mechanism and architecture stay intact, so this module
+contains *zero* APF-specific branches: it consumes whatever
+:func:`repro.models.embedding.collate_sequences` produces.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .. import nn
+from ..patching import PatchSequence
+from .embedding import PatchEmbedding, collate_sequences
+
+__all__ = ["ViTBackbone", "ViTSegmenter", "ViTClassifier"]
+
+
+class ViTBackbone(nn.Module):
+    """Patch embedding + transformer encoder stack."""
+
+    def __init__(self, token_dim: int, dim: int = 64, depth: int = 4,
+                 heads: int = 4, max_len: int = 1024, mlp_ratio: float = 2.0,
+                 use_coords: bool = True,
+                 rng: Optional[np.random.Generator] = None, dtype=np.float32):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.embed = PatchEmbedding(token_dim, dim, max_len,
+                                    use_coords=use_coords, rng=rng, dtype=dtype)
+        self.encoder = nn.TransformerEncoder(dim, depth, heads, mlp_ratio,
+                                             rng=rng, dtype=dtype)
+        self.dim = dim
+        self.depth = depth
+
+    def forward(self, tokens: np.ndarray, coords=None, valid=None,
+                return_hidden: Sequence[int] = ()):
+        x = self.embed(tokens, coords, valid)
+        return self.encoder(x, return_hidden=return_hidden, key_mask=valid)
+
+
+class ViTSegmenter(nn.Module):
+    """ViT with a per-token segmentation head.
+
+    Each token predicts a ``Pm x Pm`` logit map for its own patch footprint;
+    training is supervised directly at token level (targets from
+    ``AdaptivePatcher.patchify_labels``), and full-resolution masks are
+    reconstructed by scattering token predictions back through the quadtree
+    geometry.
+    """
+
+    def __init__(self, patch_size: int, channels: int = 1, dim: int = 64,
+                 depth: int = 4, heads: int = 4, max_len: int = 1024,
+                 out_channels: int = 1, use_coords: bool = True,
+                 rng: Optional[np.random.Generator] = None, dtype=np.float32):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        token_dim = channels * patch_size * patch_size
+        self.backbone = ViTBackbone(token_dim, dim, depth, heads, max_len,
+                                    use_coords=use_coords, rng=rng, dtype=dtype)
+        self.head = nn.Linear(dim, out_channels * patch_size * patch_size,
+                              rng=rng, dtype=dtype)
+        self.patch_size = patch_size
+        self.out_channels = out_channels
+
+    def forward(self, tokens: np.ndarray, coords=None, valid=None) -> nn.Tensor:
+        """Token logits of shape (B, L, out_channels * Pm * Pm)."""
+        return self.head(self.backbone(tokens, coords, valid))
+
+    def forward_sequences(self, seqs: Sequence[PatchSequence]) -> nn.Tensor:
+        tokens, coords, valid = collate_sequences(seqs)
+        return self.forward(tokens, coords, valid)
+
+    def predict_mask(self, seq: PatchSequence) -> np.ndarray:
+        """Inference: full-resolution (out_channels, Z, Z) probability map."""
+        with nn.no_grad():
+            logits = self.forward_sequences([seq])
+        pm, k = self.patch_size, self.out_channels
+        token_maps = logits.data[0].reshape(len(seq), k, pm, pm)
+        probs = 1.0 / (1.0 + np.exp(-token_maps))
+        return seq.scatter_to_image(probs)
+
+
+class ViTClassifier(nn.Module):
+    """ViT with masked mean pooling and a linear classification head
+    (Table V: APF-ViT vs HIPT)."""
+
+    def __init__(self, patch_size: int, channels: int = 3, dim: int = 64,
+                 depth: int = 4, heads: int = 4, max_len: int = 1024,
+                 num_classes: int = 6, use_coords: bool = True,
+                 rng: Optional[np.random.Generator] = None, dtype=np.float32):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        token_dim = channels * patch_size * patch_size
+        self.backbone = ViTBackbone(token_dim, dim, depth, heads, max_len,
+                                    use_coords=use_coords, rng=rng, dtype=dtype)
+        self.head = nn.Linear(dim, num_classes, rng=rng, dtype=dtype)
+        self.num_classes = num_classes
+        self.dtype = dtype
+
+    def forward(self, tokens: np.ndarray, coords=None,
+                valid: Optional[np.ndarray] = None) -> nn.Tensor:
+        """Class logits (B, num_classes)."""
+        x = self.backbone(tokens, coords, valid)           # (B, L, D)
+        if valid is None:
+            pooled = x.mean(axis=1)
+        else:
+            w = valid.astype(self.dtype)
+            denom = np.maximum(w.sum(axis=1, keepdims=True), 1.0)
+            mask = nn.Tensor((w / denom)[:, :, None])
+            pooled = (x * mask).sum(axis=1)
+        return self.head(pooled)
+
+    def forward_sequences(self, seqs: Sequence[PatchSequence]) -> nn.Tensor:
+        tokens, coords, valid = collate_sequences(seqs)
+        return self.forward(tokens, coords, valid)
+
+    def predict(self, seq: PatchSequence) -> int:
+        with nn.no_grad():
+            logits = self.forward_sequences([seq])
+        return int(np.argmax(logits.data[0]))

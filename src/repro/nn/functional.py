@@ -1,0 +1,260 @@
+"""Neural-network functional ops on :class:`repro.nn.tensor.Tensor`.
+
+Implements the structured ops the APF model zoo needs: im2col-based 2-D
+convolution / transposed convolution, non-overlapping max pooling, softmax,
+layer normalization, nearest-neighbour upsampling and dropout. All forward
+paths are fully vectorized NumPy (no Python loops over pixels), per the
+HPC-Python guides; backward paths use precomputed gather/scatter index maps.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .tensor import Tensor, _unbroadcast
+
+__all__ = [
+    "conv2d",
+    "conv_transpose2d",
+    "max_pool2d",
+    "avg_pool2d",
+    "softmax",
+    "log_softmax",
+    "layer_norm",
+    "upsample_nearest2d",
+    "dropout",
+]
+
+
+# ----------------------------------------------------------------------
+# im2col machinery
+# ----------------------------------------------------------------------
+
+def _im2col_indices(channels: int, height: int, width: int, kh: int, kw: int,
+                    stride: int, pad: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray, int, int]:
+    """Index maps turning a padded NCHW image into (C*kh*kw, Ho*Wo) columns."""
+    ho = (height + 2 * pad - kh) // stride + 1
+    wo = (width + 2 * pad - kw) // stride + 1
+    i0 = np.tile(np.repeat(np.arange(kh), kw), channels)
+    i1 = stride * np.repeat(np.arange(ho), wo)
+    j0 = np.tile(np.arange(kw), kh * channels)
+    j1 = stride * np.tile(np.arange(wo), ho)
+    i = i0.reshape(-1, 1) + i1.reshape(1, -1)
+    j = j0.reshape(-1, 1) + j1.reshape(1, -1)
+    k = np.repeat(np.arange(channels), kh * kw).reshape(-1, 1)
+    return k, i, j, ho, wo
+
+
+def conv2d(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None,
+           stride: int = 1, padding: int = 0) -> Tensor:
+    """2-D convolution. ``x``: (N,C,H,W); ``weight``: (O,C,kh,kw)."""
+    n, c, h, w = x.shape
+    o, c2, kh, kw = weight.shape
+    if c != c2:
+        raise ValueError(f"conv2d channel mismatch: input {c} vs weight {c2}")
+    k, i, j, ho, wo = _im2col_indices(c, h, w, kh, kw, stride, padding)
+    xp = np.pad(x.data, ((0, 0), (0, 0), (padding, padding), (padding, padding))) if padding else x.data
+    cols = xp[:, k, i, j]                                   # (N, C*kh*kw, Ho*Wo)
+    wmat = weight.data.reshape(o, -1)                        # (O, C*kh*kw)
+    out_data = np.einsum("ok,nkp->nop", wmat, cols, optimize=True)
+    if bias is not None:
+        out_data = out_data + bias.data.reshape(1, o, 1)
+    out_data = out_data.reshape(n, o, ho, wo)
+
+    parents = (x, weight) + ((bias,) if bias is not None else ())
+    out = x._make(out_data, parents)
+    if out.requires_grad:
+        def _bw(g: np.ndarray) -> None:
+            gflat = g.reshape(n, o, ho * wo)
+            if bias is not None and bias.requires_grad:
+                bias._accum(gflat.sum(axis=(0, 2)))
+            if weight.requires_grad:
+                gw = np.einsum("nop,nkp->ok", gflat, cols, optimize=True)
+                weight._accum(gw.reshape(weight.shape))
+            if x.requires_grad:
+                gcols = np.einsum("ok,nop->nkp", wmat, gflat, optimize=True)
+                gxp = np.zeros((n, c, h + 2 * padding, w + 2 * padding), dtype=g.dtype)
+                np.add.at(gxp, (slice(None), k, i, j), gcols)
+                if padding:
+                    gxp = gxp[:, :, padding:-padding, padding:-padding]
+                x._accum(gxp)
+
+        out._backward = _bw
+    return out
+
+
+def conv_transpose2d(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None,
+                     stride: int = 1, padding: int = 0) -> Tensor:
+    """2-D transposed convolution. ``x``: (N,Cin,H,W); ``weight``: (Cin,Cout,kh,kw).
+
+    Output spatial size: ``(H-1)*stride - 2*padding + k``.
+    """
+    n, cin, h, w = x.shape
+    cin2, cout, kh, kw = weight.shape
+    if cin != cin2:
+        raise ValueError(f"conv_transpose2d channel mismatch: {cin} vs {cin2}")
+    ho = (h - 1) * stride - 2 * padding + kh
+    wo = (w - 1) * stride - 2 * padding + kw
+    # The scatter pattern of conv-transpose is exactly the im2col gather of a
+    # conv with the *output* as image and the input as the column grid.
+    k, i, j, h_chk, w_chk = _im2col_indices(cout, ho, wo, kh, kw, stride, padding)
+    assert (h_chk, w_chk) == (h, w), "conv_transpose2d geometry mismatch"
+    wmat = weight.data.reshape(cin, cout * kh * kw)          # (Cin, Cout*kh*kw)
+    xflat = x.data.reshape(n, cin, h * w)
+    cols = np.einsum("ck,ncp->nkp", wmat, xflat, optimize=True)  # (N, Cout*kh*kw, H*W)
+    outp = np.zeros((n, cout, ho + 2 * padding, wo + 2 * padding), dtype=x.data.dtype)
+    np.add.at(outp, (slice(None), k, i, j), cols)
+    out_data = outp[:, :, padding:ho + padding, padding:wo + padding] if padding else outp
+    if bias is not None:
+        out_data = out_data + bias.data.reshape(1, cout, 1, 1)
+
+    parents = (x, weight) + ((bias,) if bias is not None else ())
+    out = x._make(np.ascontiguousarray(out_data), parents)
+    if out.requires_grad:
+        def _bw(g: np.ndarray) -> None:
+            if bias is not None and bias.requires_grad:
+                bias._accum(g.sum(axis=(0, 2, 3)))
+            gp = np.pad(g, ((0, 0), (0, 0), (padding, padding), (padding, padding))) if padding else g
+            gcols = gp[:, k, i, j]                           # (N, Cout*kh*kw, H*W)
+            if weight.requires_grad:
+                gw = np.einsum("ncp,nkp->ck", xflat, gcols, optimize=True)
+                weight._accum(gw.reshape(weight.shape))
+            if x.requires_grad:
+                gx = np.einsum("ck,nkp->ncp", wmat, gcols, optimize=True)
+                x._accum(gx.reshape(n, cin, h, w))
+
+        out._backward = _bw
+    return out
+
+
+def max_pool2d(x: Tensor, kernel: int = 2) -> Tensor:
+    """Non-overlapping max pooling with ``stride == kernel`` (U-Net style)."""
+    n, c, h, w = x.shape
+    if h % kernel or w % kernel:
+        raise ValueError(f"max_pool2d: spatial dims ({h},{w}) not divisible by {kernel}")
+    ho, wo = h // kernel, w // kernel
+    xb = x.data.reshape(n, c, ho, kernel, wo, kernel)
+    val = xb.max(axis=(3, 5))
+    out = x._make(val, (x,))
+    if out.requires_grad:
+        mask = xb == val[:, :, :, None, :, None]
+        counts = mask.sum(axis=(3, 5), keepdims=True)
+
+        def _bw(g: np.ndarray) -> None:
+            gb = g[:, :, :, None, :, None] / counts
+            x._accum((mask * gb).reshape(n, c, h, w))
+
+        out._backward = _bw
+    return out
+
+
+def avg_pool2d(x: Tensor, kernel: int = 2) -> Tensor:
+    """Non-overlapping average pooling with ``stride == kernel``."""
+    n, c, h, w = x.shape
+    if h % kernel or w % kernel:
+        raise ValueError(f"avg_pool2d: spatial dims ({h},{w}) not divisible by {kernel}")
+    ho, wo = h // kernel, w // kernel
+    xb = x.data.reshape(n, c, ho, kernel, wo, kernel)
+    val = xb.mean(axis=(3, 5))
+    out = x._make(val, (x,))
+    if out.requires_grad:
+        inv = 1.0 / (kernel * kernel)
+
+        def _bw(g: np.ndarray) -> None:
+            gb = np.broadcast_to(g[:, :, :, None, :, None] * inv,
+                                 (n, c, ho, kernel, wo, kernel))
+            x._accum(gb.reshape(n, c, h, w).copy())
+
+        out._backward = _bw
+    return out
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    val = e / e.sum(axis=axis, keepdims=True)
+    out = x._make(val, (x,))
+    if out.requires_grad:
+        def _bw(g: np.ndarray) -> None:
+            gy = g * val
+            x._accum(gy - val * gy.sum(axis=axis, keepdims=True))
+
+        out._backward = _bw
+    return out
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    lse = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    val = shifted - lse
+    out = x._make(val, (x,))
+    if out.requires_grad:
+        sm = np.exp(val)
+
+        def _bw(g: np.ndarray) -> None:
+            x._accum(g - sm * g.sum(axis=axis, keepdims=True))
+
+        out._backward = _bw
+    return out
+
+
+def layer_norm(x: Tensor, weight: Tensor, bias: Tensor, eps: float = 1e-5) -> Tensor:
+    """Layer normalization over the last axis, with affine parameters."""
+    mu = x.data.mean(axis=-1, keepdims=True)
+    xc = x.data - mu
+    var = (xc * xc).mean(axis=-1, keepdims=True)
+    inv = 1.0 / np.sqrt(var + eps)
+    xhat = xc * inv
+    val = xhat * weight.data + bias.data
+    out = x._make(val, (x, weight, bias))
+    if out.requires_grad:
+        d = x.shape[-1]
+
+        def _bw(g: np.ndarray) -> None:
+            if bias.requires_grad:
+                bias._accum(_unbroadcast(g, bias.shape))
+            if weight.requires_grad:
+                weight._accum(_unbroadcast(g * xhat, weight.shape))
+            if x.requires_grad:
+                gx_hat = g * weight.data
+                term1 = gx_hat
+                term2 = gx_hat.mean(axis=-1, keepdims=True)
+                term3 = xhat * (gx_hat * xhat).mean(axis=-1, keepdims=True)
+                x._accum(inv * (term1 - term2 - term3))
+
+        out._backward = _bw
+    return out
+
+
+def upsample_nearest2d(x: Tensor, scale: int) -> Tensor:
+    """Nearest-neighbour upsampling of an NCHW tensor by integer ``scale``."""
+    n, c, h, w = x.shape
+    val = np.repeat(np.repeat(x.data, scale, axis=2), scale, axis=3)
+    out = x._make(val, (x,))
+    if out.requires_grad:
+        def _bw(g: np.ndarray) -> None:
+            gb = g.reshape(n, c, h, scale, w, scale).sum(axis=(3, 5))
+            x._accum(gb)
+
+        out._backward = _bw
+    return out
+
+
+def dropout(x: Tensor, p: float, rng: np.random.Generator,
+            training: bool = True) -> Tensor:
+    """Inverted dropout: identity at eval time or when ``p == 0``."""
+    if not training or p <= 0.0:
+        return x
+    keep = 1.0 - p
+    mask = (rng.random(x.shape) < keep).astype(x.dtype) / keep
+    out = x._make(x.data * mask, (x,))
+    if out.requires_grad:
+        def _bw(g: np.ndarray) -> None:
+            x._accum(g * mask)
+
+        out._backward = _bw
+    return out

@@ -1,0 +1,171 @@
+"""Optimizers and learning-rate schedulers.
+
+The paper trains with AdamW (initial lr 1e-4) and a MultiStep decay of 0.1 at
+epochs [500, 750, 875]; both are implemented here, plus plain SGD+momentum and
+cosine decay used by ablations.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from .modules import Parameter
+
+__all__ = ["SGD", "Adam", "AdamW", "MultiStepLR", "CosineLR", "clip_grad_norm"]
+
+
+def clip_grad_norm(params: Iterable[Parameter], max_norm: float) -> float:
+    """Scale gradients in place so the global L2 norm is at most ``max_norm``.
+
+    Returns the pre-clip norm (useful for logging instability).
+    """
+    params = [p for p in params if p.grad is not None]
+    total = math.sqrt(sum(float((p.grad * p.grad).sum()) for p in params))
+    if total > max_norm and total > 0:
+        scale = max_norm / total
+        for p in params:
+            p.grad *= scale
+    return total
+
+
+class Optimizer:
+    """Base: holds parameter list and a mutable learning rate."""
+
+    def __init__(self, params: Iterable[Parameter], lr: float):
+        self.params: List[Parameter] = list(params)
+        if not self.params:
+            raise ValueError("optimizer got an empty parameter list")
+        self.lr = float(lr)
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.grad = None
+
+    def step(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """SGD with optional momentum and (coupled) weight decay."""
+
+    def __init__(self, params: Iterable[Parameter], lr: float = 1e-2,
+                 momentum: float = 0.0, weight_decay: float = 0.0):
+        super().__init__(params, lr)
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        for p, v in zip(self.params, self._velocity):
+            if p.grad is None:
+                continue
+            g = p.grad
+            if self.weight_decay:
+                g = g + self.weight_decay * p.data
+            if self.momentum:
+                v *= self.momentum
+                v += g
+                g = v
+            p.data -= self.lr * g
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba). ``weight_decay`` here is L2-coupled (classic)."""
+
+    def __init__(self, params: Iterable[Parameter], lr: float = 1e-3,
+                 betas: Sequence[float] = (0.9, 0.999), eps: float = 1e-8,
+                 weight_decay: float = 0.0):
+        super().__init__(params, lr)
+        self.b1, self.b2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self.t = 0
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        self.t += 1
+        bc1 = 1.0 - self.b1 ** self.t
+        bc2 = 1.0 - self.b2 ** self.t
+        for p, m, v in zip(self.params, self._m, self._v):
+            if p.grad is None:
+                continue
+            g = p.grad
+            if self.weight_decay:
+                g = g + self.weight_decay * p.data
+            m *= self.b1
+            m += (1 - self.b1) * g
+            v *= self.b2
+            v += (1 - self.b2) * (g * g)
+            p.data -= self.lr * (m / bc1) / (np.sqrt(v / bc2) + self.eps)
+
+
+class AdamW(Adam):
+    """Adam with decoupled weight decay (Loshchilov & Hutter), as in the paper."""
+
+    def step(self) -> None:
+        self.t += 1
+        bc1 = 1.0 - self.b1 ** self.t
+        bc2 = 1.0 - self.b2 ** self.t
+        for p, m, v in zip(self.params, self._m, self._v):
+            if p.grad is None:
+                continue
+            g = p.grad
+            m *= self.b1
+            m += (1 - self.b1) * g
+            v *= self.b2
+            v += (1 - self.b2) * (g * g)
+            if self.weight_decay:
+                p.data -= self.lr * self.weight_decay * p.data
+            p.data -= self.lr * (m / bc1) / (np.sqrt(v / bc2) + self.eps)
+
+
+class MultiStepLR:
+    """Decay lr by ``gamma`` at each epoch in ``milestones`` (paper setup)."""
+
+    def __init__(self, optimizer: Optimizer, milestones: Sequence[int],
+                 gamma: float = 0.1):
+        self.optimizer = optimizer
+        self.milestones = sorted(milestones)
+        self.gamma = gamma
+        self.epoch = 0
+        self._base_lr = optimizer.lr
+
+    def step(self) -> None:
+        self.epoch += 1
+        decays = sum(1 for m in self.milestones if self.epoch >= m)
+        self.optimizer.lr = self._base_lr * (self.gamma ** decays)
+
+    @property
+    def lr(self) -> float:
+        return self.optimizer.lr
+
+
+class CosineLR:
+    """Cosine decay from base lr to ``min_lr`` over ``total_epochs``."""
+
+    def __init__(self, optimizer: Optimizer, total_epochs: int, min_lr: float = 0.0,
+                 warmup: int = 0):
+        self.optimizer = optimizer
+        self.total = total_epochs
+        self.min_lr = min_lr
+        self.warmup = warmup
+        self.epoch = 0
+        self._base_lr = optimizer.lr
+
+    def step(self) -> None:
+        self.epoch += 1
+        if self.warmup and self.epoch <= self.warmup:
+            self.optimizer.lr = self._base_lr * self.epoch / self.warmup
+            return
+        t = (self.epoch - self.warmup) / max(1, self.total - self.warmup)
+        t = min(t, 1.0)
+        self.optimizer.lr = (self.min_lr + 0.5 * (self._base_lr - self.min_lr)
+                             * (1 + math.cos(math.pi * t)))
+
+    @property
+    def lr(self) -> float:
+        return self.optimizer.lr

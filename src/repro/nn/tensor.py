@@ -1,0 +1,622 @@
+"""Reverse-mode automatic differentiation on NumPy arrays.
+
+This module is the PyTorch substitute for the APF reproduction: a
+define-by-run autograd engine whose :class:`Tensor` wraps a ``numpy.ndarray``
+and records a tape of parent links plus a backward closure per operation.
+``Tensor.backward()`` topologically sorts the tape and accumulates gradients.
+
+Design notes
+------------
+* All elementwise binary ops support full NumPy broadcasting; gradients are
+  reduced back to each operand's shape with :func:`_unbroadcast`.
+* dtype is preserved: float64 tensors give float64 gradients, which is what
+  the finite-difference gradient checks in the test-suite rely on.
+* No in-place mutation of ``data`` after an op is recorded; the engine
+  assumes value semantics (enforced by convention, as NumPy views are cheap).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+Arrayish = Union["Tensor", np.ndarray, float, int]
+
+__all__ = ["Tensor", "no_grad", "is_grad_enabled", "tensor", "zeros", "ones"]
+
+
+class _GradMode:
+    """Process-wide flag gating tape construction (mirrors torch.no_grad)."""
+
+    enabled: bool = True
+
+
+class no_grad:
+    """Context manager that disables gradient tracking inside its block."""
+
+    def __enter__(self) -> "no_grad":
+        self._prev = _GradMode.enabled
+        _GradMode.enabled = False
+        return self
+
+    def __exit__(self, *exc) -> None:
+        _GradMode.enabled = self._prev
+
+
+def is_grad_enabled() -> bool:
+    return _GradMode.enabled
+
+
+def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` (shape produced by broadcasting) back to ``shape``."""
+    if grad.shape == shape:
+        return grad
+    # Sum out prepended axes.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum along axes that were broadcast from size 1.
+    axes = tuple(i for i, s in enumerate(shape) if s == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A NumPy-backed array with reverse-mode autodiff.
+
+    Parameters
+    ----------
+    data:
+        Anything ``np.asarray`` accepts. Floating inputs keep their dtype;
+        python scalars/ints become float32.
+    requires_grad:
+        Whether this tensor is a leaf that accumulates ``.grad``.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+
+    def __init__(self, data, requires_grad: bool = False, name: str = ""):
+        arr = np.asarray(data)
+        if arr.dtype.kind in ("i", "u", "b"):
+            arr = arr.astype(np.float32)
+        self.data: np.ndarray = arr
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad = bool(requires_grad) and _GradMode.enabled
+        self._backward: Optional[Callable[[np.ndarray], None]] = None
+        self._parents: Tuple[Tensor, ...] = ()
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # basic introspection
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (no copy)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data.item())
+
+    def detach(self) -> "Tensor":
+        return Tensor(self.data, requires_grad=False)
+
+    def copy(self) -> "Tensor":
+        return Tensor(self.data.copy(), requires_grad=self.requires_grad)
+
+    def astype(self, dtype) -> "Tensor":
+        out = self._make(self.data.astype(dtype), (self,))
+        if out.requires_grad:
+            src_dtype = self.data.dtype
+
+            def _bw(g: np.ndarray) -> None:
+                self._accum(g.astype(src_dtype))
+
+            out._backward = _bw
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}, dtype={self.dtype}{grad_flag})"
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    # ------------------------------------------------------------------
+    # tape plumbing
+    # ------------------------------------------------------------------
+    def _make(self, data: np.ndarray, parents: Tuple["Tensor", ...]) -> "Tensor":
+        """Create an op output linked to ``parents`` when grad is enabled."""
+        req = _GradMode.enabled and any(p.requires_grad for p in parents)
+        out = Tensor(data)
+        out.requires_grad = req
+        if req:
+            out._parents = tuple(p for p in parents if p.requires_grad)
+        return out
+
+    def _accum(self, g: np.ndarray) -> None:
+        """Accumulate ``g`` into ``self.grad`` (allocating on first use)."""
+        if self.grad is None:
+            self.grad = g.copy() if isinstance(g, np.ndarray) else np.asarray(g)
+        else:
+            self.grad += g
+
+    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+        """Backpropagate from this tensor through the recorded tape."""
+        if not self.requires_grad:
+            raise RuntimeError("backward() on a tensor that does not require grad")
+        if grad is None:
+            if self.size != 1:
+                raise RuntimeError("grad must be provided for non-scalar outputs")
+            grad = np.ones_like(self.data)
+        else:
+            grad = np.asarray(grad, dtype=self.data.dtype)
+
+        topo: List[Tensor] = []
+        visited = set()
+        stack: List[Tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for p in node._parents:
+                if id(p) not in visited:
+                    stack.append((p, False))
+
+        self._accum(grad)
+        for node in reversed(topo):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)
+                # Interior nodes don't need to retain grads; free memory.
+                if node._parents and node is not self:
+                    node.grad = None
+        # Clear interior closures so the graph can be GC'd.
+        for node in topo:
+            if node is not self and node._parents:
+                node._backward = None
+                node._parents = ()
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    # ------------------------------------------------------------------
+    # elementwise arithmetic
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _coerce(x: Arrayish) -> "Tensor":
+        return x if isinstance(x, Tensor) else Tensor(np.asarray(x))
+
+    def __add__(self, other: Arrayish) -> "Tensor":
+        other = self._coerce(other)
+        out = self._make(self.data + other.data, (self, other))
+        if out.requires_grad:
+            a, b = self, other
+
+            def _bw(g: np.ndarray) -> None:
+                if a.requires_grad:
+                    a._accum(_unbroadcast(g, a.shape))
+                if b.requires_grad:
+                    b._accum(_unbroadcast(g, b.shape))
+
+            out._backward = _bw
+        return out
+
+    __radd__ = __add__
+
+    def __sub__(self, other: Arrayish) -> "Tensor":
+        other = self._coerce(other)
+        out = self._make(self.data - other.data, (self, other))
+        if out.requires_grad:
+            a, b = self, other
+
+            def _bw(g: np.ndarray) -> None:
+                if a.requires_grad:
+                    a._accum(_unbroadcast(g, a.shape))
+                if b.requires_grad:
+                    b._accum(_unbroadcast(-g, b.shape))
+
+            out._backward = _bw
+        return out
+
+    def __rsub__(self, other: Arrayish) -> "Tensor":
+        return self._coerce(other) - self
+
+    def __neg__(self) -> "Tensor":
+        out = self._make(-self.data, (self,))
+        if out.requires_grad:
+            a = self
+
+            def _bw(g: np.ndarray) -> None:
+                a._accum(-g)
+
+            out._backward = _bw
+        return out
+
+    def __mul__(self, other: Arrayish) -> "Tensor":
+        other = self._coerce(other)
+        out = self._make(self.data * other.data, (self, other))
+        if out.requires_grad:
+            a, b = self, other
+
+            def _bw(g: np.ndarray) -> None:
+                if a.requires_grad:
+                    a._accum(_unbroadcast(g * b.data, a.shape))
+                if b.requires_grad:
+                    b._accum(_unbroadcast(g * a.data, b.shape))
+
+            out._backward = _bw
+        return out
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: Arrayish) -> "Tensor":
+        other = self._coerce(other)
+        out = self._make(self.data / other.data, (self, other))
+        if out.requires_grad:
+            a, b = self, other
+
+            def _bw(g: np.ndarray) -> None:
+                if a.requires_grad:
+                    a._accum(_unbroadcast(g / b.data, a.shape))
+                if b.requires_grad:
+                    b._accum(_unbroadcast(-g * a.data / (b.data * b.data), b.shape))
+
+            out._backward = _bw
+        return out
+
+    def __rtruediv__(self, other: Arrayish) -> "Tensor":
+        return self._coerce(other) / self
+
+    def __pow__(self, p: float) -> "Tensor":
+        if not np.isscalar(p):
+            raise TypeError("Tensor.__pow__ supports scalar exponents only")
+        out = self._make(self.data ** p, (self,))
+        if out.requires_grad:
+            a = self
+
+            def _bw(g: np.ndarray) -> None:
+                a._accum(g * p * (a.data ** (p - 1)))
+
+            out._backward = _bw
+        return out
+
+    # ------------------------------------------------------------------
+    # transcendental / nonlinearities
+    # ------------------------------------------------------------------
+    def exp(self) -> "Tensor":
+        val = np.exp(self.data)
+        out = self._make(val, (self,))
+        if out.requires_grad:
+            a = self
+
+            def _bw(g: np.ndarray) -> None:
+                a._accum(g * val)
+
+            out._backward = _bw
+        return out
+
+    def log(self) -> "Tensor":
+        out = self._make(np.log(self.data), (self,))
+        if out.requires_grad:
+            a = self
+
+            def _bw(g: np.ndarray) -> None:
+                a._accum(g / a.data)
+
+            out._backward = _bw
+        return out
+
+    def sqrt(self) -> "Tensor":
+        val = np.sqrt(self.data)
+        out = self._make(val, (self,))
+        if out.requires_grad:
+            a = self
+
+            def _bw(g: np.ndarray) -> None:
+                a._accum(g * 0.5 / val)
+
+            out._backward = _bw
+        return out
+
+    def tanh(self) -> "Tensor":
+        val = np.tanh(self.data)
+        out = self._make(val, (self,))
+        if out.requires_grad:
+            a = self
+
+            def _bw(g: np.ndarray) -> None:
+                a._accum(g * (1.0 - val * val))
+
+            out._backward = _bw
+        return out
+
+    def sigmoid(self) -> "Tensor":
+        # Numerically stable logistic.
+        x = self.data
+        val = np.where(x >= 0, 1.0 / (1.0 + np.exp(-np.clip(x, None, 88.0))),
+                       np.exp(np.clip(x, -88.0, None)) / (1.0 + np.exp(np.clip(x, -88.0, None))))
+        val = val.astype(x.dtype, copy=False)
+        out = self._make(val, (self,))
+        if out.requires_grad:
+            a = self
+
+            def _bw(g: np.ndarray) -> None:
+                a._accum(g * val * (1.0 - val))
+
+            out._backward = _bw
+        return out
+
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+        out = self._make(self.data * mask, (self,))
+        if out.requires_grad:
+            a = self
+
+            def _bw(g: np.ndarray) -> None:
+                a._accum(g * mask)
+
+            out._backward = _bw
+        return out
+
+    def gelu(self) -> "Tensor":
+        """Gaussian error linear unit (tanh approximation, as in ViT)."""
+        x = self.data
+        c = np.sqrt(2.0 / np.pi).astype(x.dtype) if hasattr(np.sqrt(2.0 / np.pi), "astype") else np.sqrt(2.0 / np.pi)
+        inner = c * (x + 0.044715 * x ** 3)
+        t = np.tanh(inner)
+        val = 0.5 * x * (1.0 + t)
+        out = self._make(val.astype(x.dtype, copy=False), (self,))
+        if out.requires_grad:
+            a = self
+
+            def _bw(g: np.ndarray) -> None:
+                dt = (1.0 - t * t) * c * (1.0 + 3 * 0.044715 * x ** 2)
+                a._accum(g * (0.5 * (1.0 + t) + 0.5 * x * dt))
+
+            out._backward = _bw
+        return out
+
+    def clip(self, lo: float, hi: float) -> "Tensor":
+        mask = (self.data >= lo) & (self.data <= hi)
+        out = self._make(np.clip(self.data, lo, hi), (self,))
+        if out.requires_grad:
+            a = self
+
+            def _bw(g: np.ndarray) -> None:
+                a._accum(g * mask)
+
+            out._backward = _bw
+        return out
+
+    def abs(self) -> "Tensor":
+        sign = np.sign(self.data)
+        out = self._make(np.abs(self.data), (self,))
+        if out.requires_grad:
+            a = self
+
+            def _bw(g: np.ndarray) -> None:
+                a._accum(g * sign)
+
+            out._backward = _bw
+        return out
+
+    # ------------------------------------------------------------------
+    # reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out = self._make(self.data.sum(axis=axis, keepdims=keepdims), (self,))
+        if out.requires_grad:
+            a = self
+            in_shape = self.shape
+
+            def _bw(g: np.ndarray) -> None:
+                gg = g
+                if not keepdims and axis is not None:
+                    axes = axis if isinstance(axis, tuple) else (axis,)
+                    axes = tuple(ax % len(in_shape) for ax in axes)
+                    for ax in sorted(axes):
+                        gg = np.expand_dims(gg, ax)
+                a._accum(np.broadcast_to(gg, in_shape).astype(a.data.dtype, copy=False) * np.ones(1, dtype=a.data.dtype))
+
+            out._backward = _bw
+        return out
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            n = self.size
+        else:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            n = int(np.prod([self.shape[ax] for ax in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / n)
+
+    def var(self, axis=None, keepdims: bool = False) -> "Tensor":
+        mu = self.mean(axis=axis, keepdims=True)
+        d = self - mu
+        return (d * d).mean(axis=axis, keepdims=keepdims)
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        val = self.data.max(axis=axis, keepdims=True)
+        out_val = val if keepdims else np.squeeze(val, axis=axis) if axis is not None else val.reshape(())
+        out = self._make(np.asarray(out_val), (self,))
+        if out.requires_grad:
+            a = self
+            mask = (self.data == val)
+            counts = mask.sum(axis=axis, keepdims=True)
+
+            def _bw(g: np.ndarray) -> None:
+                gg = g
+                if not keepdims and axis is not None:
+                    axes = axis if isinstance(axis, tuple) else (axis,)
+                    axes = tuple(ax % a.data.ndim for ax in axes)
+                    for ax in sorted(axes):
+                        gg = np.expand_dims(gg, ax)
+                elif not keepdims and axis is None:
+                    gg = np.reshape(gg, (1,) * a.data.ndim)
+                a._accum(mask * (gg / counts))
+
+            out._backward = _bw
+        return out
+
+    # ------------------------------------------------------------------
+    # shape ops
+    # ------------------------------------------------------------------
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        out = self._make(self.data.reshape(shape), (self,))
+        if out.requires_grad:
+            a = self
+            orig = self.shape
+
+            def _bw(g: np.ndarray) -> None:
+                a._accum(g.reshape(orig))
+
+            out._backward = _bw
+        return out
+
+    def transpose(self, *axes) -> "Tensor":
+        if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        if not axes:
+            axes = tuple(reversed(range(self.ndim)))
+        out = self._make(self.data.transpose(axes), (self,))
+        if out.requires_grad:
+            a = self
+            inv = tuple(np.argsort(axes))
+
+            def _bw(g: np.ndarray) -> None:
+                a._accum(g.transpose(inv))
+
+            out._backward = _bw
+        return out
+
+    def swapaxes(self, a1: int, a2: int) -> "Tensor":
+        axes = list(range(self.ndim))
+        axes[a1], axes[a2] = axes[a2], axes[a1]
+        return self.transpose(tuple(axes))
+
+    def __getitem__(self, idx) -> "Tensor":
+        out = self._make(self.data[idx], (self,))
+        if out.requires_grad:
+            a = self
+
+            def _bw(g: np.ndarray) -> None:
+                full = np.zeros_like(a.data)
+                np.add.at(full, idx, g)
+                a._accum(full)
+
+            out._backward = _bw
+        return out
+
+    # ------------------------------------------------------------------
+    # linear algebra
+    # ------------------------------------------------------------------
+    def matmul(self, other: "Tensor") -> "Tensor":
+        other = self._coerce(other)
+        out = self._make(self.data @ other.data, (self, other))
+        if out.requires_grad:
+            a, b = self, other
+
+            def _bw(g: np.ndarray) -> None:
+                if a.requires_grad:
+                    if b.data.ndim == 1:
+                        ga = np.multiply.outer(g, b.data) if a.data.ndim == 1 else g[..., None] * b.data
+                    else:
+                        ga = g @ np.swapaxes(b.data, -1, -2)
+                    a._accum(_unbroadcast(ga, a.shape))
+                if b.requires_grad:
+                    if a.data.ndim == 1:
+                        gb = np.multiply.outer(a.data, g)
+                    else:
+                        gb = np.swapaxes(a.data, -1, -2) @ g
+                    b._accum(_unbroadcast(gb, b.shape))
+
+            out._backward = _bw
+        return out
+
+    __matmul__ = matmul
+
+    # ------------------------------------------------------------------
+    # comparisons (no-grad)
+    # ------------------------------------------------------------------
+    def __gt__(self, other: Arrayish) -> np.ndarray:
+        other = other.data if isinstance(other, Tensor) else other
+        return self.data > other
+
+    def __lt__(self, other: Arrayish) -> np.ndarray:
+        other = other.data if isinstance(other, Tensor) else other
+        return self.data < other
+
+
+# ----------------------------------------------------------------------
+# free-function constructors & graph combinators
+# ----------------------------------------------------------------------
+
+def tensor(data, requires_grad: bool = False) -> Tensor:
+    """Construct a :class:`Tensor` (convenience mirror of ``torch.tensor``)."""
+    return Tensor(data, requires_grad=requires_grad)
+
+
+def zeros(shape, dtype=np.float32, requires_grad: bool = False) -> Tensor:
+    return Tensor(np.zeros(shape, dtype=dtype), requires_grad=requires_grad)
+
+
+def ones(shape, dtype=np.float32, requires_grad: bool = False) -> Tensor:
+    return Tensor(np.ones(shape, dtype=dtype), requires_grad=requires_grad)
+
+
+def concat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Concatenate tensors along ``axis`` with gradient routing."""
+    tensors = [Tensor._coerce(t) for t in tensors]
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    out = tensors[0]._make(data, tuple(tensors))
+    if out.requires_grad:
+        sizes = [t.shape[axis] for t in tensors]
+        splits = np.cumsum(sizes)[:-1]
+        parts = tensors
+
+        def _bw(g: np.ndarray) -> None:
+            for t, gpart in zip(parts, np.split(g, splits, axis=axis)):
+                if t.requires_grad:
+                    t._accum(gpart)
+
+        out._backward = _bw
+    return out
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new ``axis`` with gradient routing."""
+    tensors = [Tensor._coerce(t) for t in tensors]
+    data = np.stack([t.data for t in tensors], axis=axis)
+    out = tensors[0]._make(data, tuple(tensors))
+    if out.requires_grad:
+        parts = tensors
+
+        def _bw(g: np.ndarray) -> None:
+            for i, t in enumerate(parts):
+                if t.requires_grad:
+                    t._accum(np.take(g, i, axis=axis))
+
+        out._backward = _bw
+    return out

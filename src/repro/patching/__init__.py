@@ -1,0 +1,17 @@
+"""``repro.patching`` — the Adaptive Patch Framework (APF) and its baseline.
+
+* :class:`AdaptivePatcher` / :class:`APFConfig` — paper Alg. 1 preprocessing
+* :class:`UniformPatcher` — traditional grid patching baseline
+* :class:`PatchSequence` — the shared model-input container
+"""
+
+from .adaptive import AdaptivePatcher, APFConfig
+from .cache import CachingPatcher, PatchCache
+from .sequence import PatchSequence
+from .uniform import UniformPatcher, uniform_sequence_length
+from .volumetric import (VolumeAPFConfig, VolumeSequence,
+                         VolumetricAdaptivePatcher)
+
+__all__ = ["AdaptivePatcher", "APFConfig", "PatchSequence", "UniformPatcher",
+           "uniform_sequence_length", "CachingPatcher", "PatchCache",
+           "VolumetricAdaptivePatcher", "VolumeAPFConfig", "VolumeSequence"]

@@ -1,0 +1,262 @@
+"""The Adaptive Patch Framework (APF) — the paper's core contribution.
+
+Pipeline (paper Fig. 1 / Algorithm 1 lines 3-5):
+
+1. Gaussian blur the image (kernel per resolution, §III-A).
+2. Canny edge detection with thresholds ``(t_l, t_h) = (100, 200)``.
+3. Quadtree partition of the edge map: split while edge mass > ``v`` and
+   depth < ``H`` (Eq. 6).
+4. Order leaves along the Morton z-curve.
+5. Project every leaf patch down to the common minimum size ``Pm`` (area
+   downscale) — step 4' in Fig. 1.
+6. Randomly drop or zero-pad to the fixed sequence length ``L``.
+
+The result is a :class:`~repro.patching.sequence.PatchSequence` identical in
+interface to uniform patching, so any transformer model consumes it
+unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..imaging import canny_edges, downscale_pow2, gaussian_blur, to_grayscale
+from ..imaging.filters import KSIZE_FOR_RESOLUTION
+from ..quadtree import QuadtreeLeaves, balance_2to1, build_quadtree
+from .sequence import PatchSequence
+
+__all__ = ["APFConfig", "AdaptivePatcher"]
+
+
+def _variance_detail(gray: np.ndarray, window: int = 4) -> np.ndarray:
+    """Ablation criterion: local variance in non-overlapping windows,
+    spread back to pixel resolution."""
+    z = gray.shape[0]
+    w = window
+    if z % w:
+        raise ValueError(f"window {w} must divide image size {z}")
+    blocks = gray.reshape(z // w, w, z // w, w)
+    var = blocks.var(axis=(1, 3))
+    return np.repeat(np.repeat(var, w, axis=0), w, axis=1)
+
+
+@dataclass
+class APFConfig:
+    """Hyper-parameters of the adaptive patcher.
+
+    Defaults follow the paper: thresholds (100, 200), kernel size chosen per
+    resolution from §III-A's table, split driven by edge-pixel count.
+    """
+
+    #: Model patch size Pm every leaf is projected to.
+    patch_size: int = 4
+    #: Quadtree split value v (edge-pixel mass threshold).
+    split_value: float = 8.0
+    #: Maximum quadtree depth H; None derives it from patch_size (leaves stop
+    #: at Pm so no leaf needs upscaling).
+    max_depth: Optional[int] = None
+    #: Fixed sequence length L. None keeps the natural length (no pad/drop).
+    target_length: Optional[int] = None
+    #: Gaussian kernel size; 0 picks from the paper's per-resolution table.
+    blur_ksize: int = 0
+    #: Canny hysteresis thresholds.
+    canny_low: float = 100.0
+    canny_high: float = 200.0
+    #: Detail criterion: "canny" (paper) or "variance" (ablation).
+    criterion: str = "canny"
+    #: Token ordering: "morton" (paper), "hilbert" or "rowmajor" (ablations).
+    order: str = "morton"
+    #: Over-length policy: "random" (paper) drops uniformly; "coarsest-first"
+    #: drops the largest (least detailed) leaves first — an extension that
+    #: preserves the fine structure the quadtree refined for.
+    drop_strategy: str = "random"
+    #: Enforce the AMR 2:1 balance constraint (optional extension, §II-A).
+    balance: bool = False
+    #: RNG seed for the random drop/pad step.
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        p = self.patch_size
+        if p < 1 or (p & (p - 1)):
+            raise ValueError(f"patch_size must be a positive power of two, got {p}")
+        if self.criterion not in ("canny", "variance"):
+            raise ValueError(f"unknown criterion {self.criterion!r}")
+        if self.order not in ("morton", "hilbert", "rowmajor"):
+            raise ValueError(f"unknown order {self.order!r}")
+        if self.drop_strategy not in ("random", "coarsest-first"):
+            raise ValueError(f"unknown drop strategy {self.drop_strategy!r}")
+
+
+class AdaptivePatcher:
+    """Callable implementing APF preprocessing for one image at a time.
+
+    Examples
+    --------
+    >>> patcher = AdaptivePatcher(APFConfig(patch_size=4, split_value=8.0))
+    >>> seq = patcher(image)              # image: (Z, Z) or (Z, Z, C) in [0,1]
+    >>> tokens = seq.tokens()             # (L, C*Pm*Pm) for the embedding layer
+    """
+
+    def __init__(self, config: Optional[APFConfig] = None, **overrides):
+        if config is None:
+            config = APFConfig(**overrides)
+        elif overrides:
+            raise ValueError("pass either a config object or keyword overrides")
+        self.config = config
+        self._rng = np.random.default_rng(config.seed)
+
+    # -- pipeline stages (exposed individually for tests & benches) -------
+    def detail_map(self, image: np.ndarray) -> np.ndarray:
+        """Stages 1-2: blur + edge detection → detail density map."""
+        gray = to_grayscale(np.asarray(image, dtype=np.float64))
+        z = gray.shape[0]
+        cfg = self.config
+        k = cfg.blur_ksize or KSIZE_FOR_RESOLUTION.get(z, 3)
+        blurred = gaussian_blur(gray, k)
+        if cfg.criterion == "canny":
+            return canny_edges(blurred, cfg.canny_low, cfg.canny_high).astype(np.float64)
+        return _variance_detail(blurred, window=max(cfg.patch_size, 2)) * 16.0
+
+    def build_tree(self, image: np.ndarray) -> QuadtreeLeaves:
+        """Stage 3: quadtree over the detail map (Eq. 6)."""
+        detail = self.detail_map(image)
+        z = detail.shape[0]
+        cfg = self.config
+        if cfg.max_depth is None:
+            depth = int(np.log2(z // cfg.patch_size))
+        else:
+            depth = cfg.max_depth
+        leaves = build_quadtree(detail, cfg.split_value, depth,
+                                min_size=cfg.patch_size)
+        if cfg.balance:
+            leaves = balance_2to1(leaves)
+        return leaves
+
+    def __call__(self, image: np.ndarray) -> PatchSequence:
+        return self.extract(image)
+
+    def extract(self, image: np.ndarray,
+                leaves: Optional[QuadtreeLeaves] = None) -> PatchSequence:
+        """Full pipeline: image → model-ready :class:`PatchSequence`.
+
+        ``leaves`` may be supplied to reuse a tree (e.g. to patchify the
+        label mask with the same partition as the input image).
+        """
+        img = np.asarray(image, dtype=np.float64)
+        if img.ndim == 2:
+            img = img[:, :, None]
+        h, w, c = img.shape
+        if h != w:
+            raise ValueError(f"expected square image, got {img.shape}")
+        if leaves is None:
+            leaves = self.build_tree(image)
+        cfg = self.config
+
+        if cfg.order == "morton":
+            leaves = leaves.sorted_by_morton()
+        elif cfg.order == "hilbert":
+            leaves = leaves.sorted_by_hilbert()
+
+        pm = cfg.patch_size
+        n = len(leaves)
+        patches = np.zeros((n, c, pm, pm), dtype=np.float64)
+        # Group leaves by size so each group downsamples in one vector op.
+        for s in np.unique(leaves.sizes):
+            idx = np.flatnonzero(leaves.sizes == s)
+            s = int(s)
+            # Gather all leaves of side s into one (k, s, s, c) stack.
+            offs_y = leaves.ys[idx][:, None, None]
+            offs_x = leaves.xs[idx][:, None, None]
+            yy = offs_y + np.arange(s)[None, :, None]
+            xx = offs_x + np.arange(s)[None, None, :]
+            stack = img[yy, xx]                          # (k, s, s, c)
+            if s > pm:
+                f = s // pm
+                stack = stack.reshape(len(idx), pm, f, pm, f, c).mean(axis=(2, 4))
+            elif s < pm:  # cannot happen: builder enforces min_size=pm
+                raise AssertionError("leaf smaller than model patch size")
+            patches[idx] = stack.transpose(0, 3, 1, 2)
+
+        seq = PatchSequence(
+            patches=patches,
+            ys=leaves.ys.copy(), xs=leaves.xs.copy(), sizes=leaves.sizes.copy(),
+            valid=np.ones(n, dtype=bool),
+            image_size=h, patch_size=pm, n_real=n,
+        )
+        if cfg.target_length is not None:
+            seq = self.fit_length(seq, cfg.target_length)
+        return seq
+
+    def extract_natural(self, image: np.ndarray) -> PatchSequence:
+        """Full pipeline *without* the pad/drop step (stage 6).
+
+        Used at inference: a single image needs no batching, so the natural
+        sequence avoids the coverage holes random dropping would leave in the
+        reconstructed mask.
+        """
+        cfg = self.config
+        if cfg.target_length is None:
+            return self.extract(image)
+        saved = cfg.target_length
+        try:
+            cfg.target_length = None
+            return self.extract(image)
+        finally:
+            cfg.target_length = saved
+
+    def fit_length(self, seq: PatchSequence, length: int) -> PatchSequence:
+        """Stage 6: randomly drop (too long) or zero-pad (too short) to ``length``."""
+        n = len(seq)
+        if n == length:
+            return seq
+        if n > length:
+            if self.config.drop_strategy == "coarsest-first":
+                # Drop the largest (lowest-detail) leaves first; ties broken
+                # randomly so repeated epochs still vary.
+                jitter = self._rng.random(n)
+                priority = np.lexsort((jitter, -seq.sizes))  # big sizes first
+                keep = np.sort(priority[n - length:])
+            else:
+                keep = np.sort(self._rng.choice(n, size=length, replace=False))
+            return PatchSequence(
+                patches=seq.patches[keep], ys=seq.ys[keep], xs=seq.xs[keep],
+                sizes=seq.sizes[keep], valid=seq.valid[keep],
+                image_size=seq.image_size, patch_size=seq.patch_size,
+                n_real=seq.n_real, n_dropped=n - length,
+            )
+        pad = length - n
+        c, pm = seq.channels, seq.patch_size
+        return PatchSequence(
+            patches=np.concatenate([seq.patches, np.zeros((pad, c, pm, pm))]),
+            ys=np.concatenate([seq.ys, np.zeros(pad, dtype=np.int64)]),
+            xs=np.concatenate([seq.xs, np.zeros(pad, dtype=np.int64)]),
+            sizes=np.concatenate([seq.sizes, np.zeros(pad, dtype=np.int64)]),
+            valid=np.concatenate([seq.valid, np.zeros(pad, dtype=bool)]),
+            image_size=seq.image_size, patch_size=seq.patch_size,
+            n_real=seq.n_real, n_dropped=seq.n_dropped,
+        )
+
+    def patchify_labels(self, mask: np.ndarray, seq: PatchSequence) -> np.ndarray:
+        """Project a full-resolution label mask onto the token layout of ``seq``.
+
+        Returns (L, 1, Pm, Pm) soft targets: each leaf's mask region is
+        area-downscaled to Pm, so supervision is aligned with the inputs
+        (large homogeneous leaves yield fractional coverage values).
+        Padded slots are zeros.
+        """
+        m = np.asarray(mask, dtype=np.float64)
+        if m.ndim == 3:
+            m = m[:, :, 0]
+        pm = seq.patch_size
+        out = np.zeros((len(seq), 1, pm, pm), dtype=np.float64)
+        for i in np.flatnonzero(seq.valid):
+            s = int(seq.sizes[i])
+            y, x = int(seq.ys[i]), int(seq.xs[i])
+            region = m[y:y + s, x:x + s]
+            if s > pm:
+                region = downscale_pow2(region, s // pm)
+            out[i, 0] = region
+        return out

@@ -1,0 +1,93 @@
+"""Uniform grid patching — the traditional ViT baseline (paper §II-B).
+
+For an image of resolution Z and patch size P the sequence length is
+``N = (Z/P)^2``; attention cost grows as ``O((Z/P)^4)``, which is exactly the
+scaling APF attacks.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .sequence import PatchSequence
+
+__all__ = ["UniformPatcher", "uniform_sequence_length"]
+
+
+def uniform_sequence_length(resolution: int, patch: int) -> int:
+    """``N = (Z/P)^2`` (paper §II-B)."""
+    if resolution % patch:
+        raise ValueError(f"patch {patch} must divide resolution {resolution}")
+    return (resolution // patch) ** 2
+
+
+class UniformPatcher:
+    """Split an image into a regular grid of ``P x P`` patches, row-major.
+
+    The output :class:`PatchSequence` uses the same container as adaptive
+    patching so every downstream model is agnostic to the patching strategy —
+    the property the paper's "works with any model" claim rests on.
+
+    Parameters
+    ----------
+    patch_size:
+        Grid cell size P.
+    project_to:
+        Optional model patch size ``Pm < P``: every grid patch is area-
+        downscaled to ``Pm`` before being emitted. This models the practical
+        reality of enormous uniform patches (the paper's ViT-4096 at 16K^2 in
+        Table V): their fine detail is destroyed by the projection. Uniform +
+        ``project_to`` is the comparator APF beats at equal token budget.
+    """
+
+    def __init__(self, patch_size: int, project_to: Optional[int] = None):
+        if patch_size < 1:
+            raise ValueError("patch_size must be >= 1")
+        if project_to is not None:
+            if project_to < 1 or patch_size % project_to:
+                raise ValueError(f"project_to ({project_to}) must divide "
+                                 f"patch_size ({patch_size})")
+        self.patch_size = patch_size
+        self.project_to = project_to
+
+    def __call__(self, image: np.ndarray) -> PatchSequence:
+        return self.extract(image)
+
+    def extract(self, image: np.ndarray) -> PatchSequence:
+        """Patchify (H, W) or (H, W, C) into a row-major PatchSequence."""
+        img = np.asarray(image, dtype=np.float64)
+        if img.ndim == 2:
+            img = img[:, :, None]
+        h, w, c = img.shape
+        if h != w:
+            raise ValueError(f"expected square image, got {img.shape}")
+        p = self.patch_size
+        if h % p:
+            raise ValueError(f"patch {p} must divide image size {h}")
+        g = h // p
+        # (g, p, g, p, c) -> (g*g, c, p, p)
+        patches = (img.reshape(g, p, g, p, c)
+                   .transpose(0, 2, 4, 1, 3)
+                   .reshape(g * g, c, p, p))
+        pm = self.project_to or p
+        if pm != p:
+            f = p // pm
+            patches = patches.reshape(g * g, c, pm, f, pm, f).mean(axis=(3, 5))
+        ys, xs = np.mgrid[0:g, 0:g]
+        n = g * g
+        return PatchSequence(
+            patches=patches,
+            ys=(ys.ravel() * p).astype(np.int64),
+            xs=(xs.ravel() * p).astype(np.int64),
+            sizes=np.full(n, p, dtype=np.int64),
+            valid=np.ones(n, dtype=bool),
+            image_size=h,
+            patch_size=pm,
+            n_real=n,
+        )
+
+    def reconstruct(self, seq: PatchSequence) -> np.ndarray:
+        """Inverse of :meth:`extract` — returns (C, Z, Z)."""
+        return seq.scatter_to_image(seq.patches)

@@ -1,0 +1,14 @@
+"""``repro.perf`` — FLOP/memory models, α–β cost model, equal-cost analysis."""
+
+from .costmodel import ClusterSpec, CostModel
+from .equivalence import (apf_length_curve, equal_cost_patch_size,
+                          equivalent_sequence_gain)
+from .flops import (TransformerConfig, activation_bytes, attention_flops,
+                    attention_memory_bytes, encoder_flops, training_flops)
+
+__all__ = [
+    "TransformerConfig", "attention_flops", "encoder_flops", "training_flops",
+    "activation_bytes", "attention_memory_bytes",
+    "ClusterSpec", "CostModel",
+    "apf_length_curve", "equal_cost_patch_size", "equivalent_sequence_gain",
+]

@@ -1,0 +1,53 @@
+"""Equal-cost equivalence analysis (paper §I contribution 1).
+
+The paper claims that at the same compute budget APF can use "nearly 8x
+smaller patch sizes or 64x longer sequences" than uniform patching. This
+module makes the claim precise: given the uniform budget ``N_u = (Z/P)^2``
+and the empirical APF sequence-length curve ``L(P')`` measured on a dataset,
+find the smallest patch size whose APF sequence fits the budget.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..patching import AdaptivePatcher, APFConfig, uniform_sequence_length
+
+__all__ = ["apf_length_curve", "equal_cost_patch_size", "equivalent_sequence_gain"]
+
+
+def apf_length_curve(images: Sequence[np.ndarray], patch_sizes: Iterable[int],
+                     split_value: float = 8.0) -> Dict[int, float]:
+    """Mean APF sequence length per candidate patch size over ``images``."""
+    out: Dict[int, float] = {}
+    for p in patch_sizes:
+        lengths = [len(AdaptivePatcher(patch_size=p, split_value=split_value)(img))
+                   for img in images]
+        out[p] = float(np.mean(lengths))
+    return out
+
+
+def equal_cost_patch_size(resolution: int, uniform_patch: int,
+                          curve: Dict[int, float]) -> Optional[int]:
+    """Smallest APF patch size whose mean sequence length fits the uniform
+    budget ``(Z/P)^2``; None if no candidate fits."""
+    budget = uniform_sequence_length(resolution, uniform_patch)
+    fitting = [p for p, length in curve.items() if length <= budget]
+    return min(fitting) if fitting else None
+
+
+def equivalent_sequence_gain(resolution: int, uniform_patch: int,
+                             curve: Dict[int, float]) -> float:
+    """How many times more *effective* tokens APF affords at equal cost.
+
+    Effective tokens of APF at patch P' = the uniform sequence length its
+    finest regions correspond to, ``(Z/P')^2``, achieved while the actual
+    (paid-for) sequence stays within the uniform budget.
+    """
+    p_star = equal_cost_patch_size(resolution, uniform_patch, curve)
+    if p_star is None:
+        return 1.0
+    return (uniform_sequence_length(resolution, p_star)
+            / uniform_sequence_length(resolution, uniform_patch))

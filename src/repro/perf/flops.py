@@ -1,0 +1,59 @@
+"""Analytic FLOP and memory models for transformer training.
+
+These formulas drive the cost model that projects measured laptop-scale runs
+to the paper's Frontier scales (Table II/III sec/image columns). They are the
+standard dense-transformer counts; the important structural fact is the
+``4 L^2 D`` attention term — quadratic in sequence length — which is exactly
+what APF's sequence reduction attacks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["TransformerConfig", "encoder_flops", "attention_flops",
+           "training_flops", "activation_bytes", "attention_memory_bytes"]
+
+
+@dataclass(frozen=True)
+class TransformerConfig:
+    """Shape of a ViT-style encoder."""
+
+    seq_len: int
+    dim: int
+    depth: int
+    heads: int = 8
+    mlp_ratio: float = 4.0
+
+    def __post_init__(self) -> None:
+        if min(self.seq_len, self.dim, self.depth, self.heads) < 1:
+            raise ValueError("all transformer dimensions must be >= 1")
+
+
+def attention_flops(seq_len: int, dim: int) -> float:
+    """One attention block forward: QKV+output projections and the two
+    ``L x L`` matmuls: ``8 L D^2 + 4 L^2 D``."""
+    return 8.0 * seq_len * dim ** 2 + 4.0 * seq_len ** 2 * dim
+
+
+def encoder_flops(cfg: TransformerConfig) -> float:
+    """Forward FLOPs of the full encoder (attention + MLP per layer)."""
+    mlp = 4.0 * cfg.mlp_ratio * cfg.seq_len * cfg.dim ** 2
+    return cfg.depth * (attention_flops(cfg.seq_len, cfg.dim) + mlp)
+
+
+def training_flops(cfg: TransformerConfig) -> float:
+    """Training step ≈ 3x forward (forward + 2x backward)."""
+    return 3.0 * encoder_flops(cfg)
+
+
+def attention_memory_bytes(cfg: TransformerConfig, bytes_per_el: int = 4) -> float:
+    """Attention matrices that must be materialized for the backward pass:
+    ``depth * heads * L^2`` elements — the paper's memory wall."""
+    return float(cfg.depth) * cfg.heads * cfg.seq_len ** 2 * bytes_per_el
+
+
+def activation_bytes(cfg: TransformerConfig, bytes_per_el: int = 4) -> float:
+    """Per-sample activation footprint: token activations + attention maps."""
+    token_acts = cfg.depth * cfg.seq_len * cfg.dim * (4 + 2 * cfg.mlp_ratio)
+    return token_acts * bytes_per_el + attention_memory_bytes(cfg, bytes_per_el)

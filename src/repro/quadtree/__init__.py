@@ -1,0 +1,18 @@
+"""``repro.quadtree`` — tree-based AMR-style image partitioning (paper §II-A, §III-A).
+
+* :mod:`repro.quadtree.tree` — Eq. 6 quadtree builder + 2:1 balance
+* :mod:`repro.quadtree.morton` — z-order curve codes and leaf ordering
+"""
+
+from .hilbert import hilbert_decode, hilbert_encode, hilbert_sort_order
+from .morton import morton_decode, morton_encode, morton_sort_order
+from .octree import (OctreeLeaves, build_octree, morton3d_decode,
+                     morton3d_encode)
+from .tree import QuadtreeLeaves, balance_2to1, build_quadtree, max_depth_for
+
+__all__ = [
+    "morton_encode", "morton_decode", "morton_sort_order",
+    "hilbert_encode", "hilbert_decode", "hilbert_sort_order",
+    "morton3d_encode", "morton3d_decode", "OctreeLeaves", "build_octree",
+    "QuadtreeLeaves", "build_quadtree", "balance_2to1", "max_depth_for",
+]

@@ -1,0 +1,78 @@
+"""Hilbert space-filling curve codes — the classic alternative to Morton.
+
+The paper uses Morton z-order (step 5); AMR practice often prefers the
+Hilbert curve because it has strictly better locality (no long diagonal
+jumps between quadrants). We provide it as an ordering ablation
+(``APFConfig.order = "hilbert"``) and benchmark the locality difference.
+
+The encoding is the standard iterative rotate-and-flip construction
+(Hamilton's compact algorithm specialized to 2-D), vectorized over
+coordinate arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["hilbert_encode", "hilbert_decode", "hilbert_sort_order"]
+
+_MAX_BITS = 24
+
+
+def hilbert_encode(y, x, bits: int = _MAX_BITS) -> np.ndarray:
+    """Hilbert curve index d of points (y, x) on a ``2^bits`` grid.
+
+    Vectorized translation of the classic xy→d loop: walk square sizes from
+    the top level down, accumulating the quadrant offset and applying the
+    rotation/reflection that keeps the curve continuous.
+    """
+    y = np.atleast_1d(np.asarray(y, dtype=np.int64)).copy()
+    x = np.atleast_1d(np.asarray(x, dtype=np.int64)).copy()
+    if (y < 0).any() or (x < 0).any():
+        raise ValueError("coordinates must be non-negative")
+    if (y >= (1 << bits)).any() or (x >= (1 << bits)).any():
+        raise ValueError(f"coordinates exceed {bits}-bit Hilbert range")
+    d = np.zeros_like(x, dtype=np.uint64)
+    s = np.int64(1) << (bits - 1)
+    while s > 0:
+        rx = ((x & s) > 0).astype(np.int64)
+        ry = ((y & s) > 0).astype(np.int64)
+        d += np.uint64(s) * np.uint64(s) * ((3 * rx) ^ ry).astype(np.uint64)
+        # Rotate the quadrant so the sub-curve is oriented consistently.
+        swap = ry == 0
+        flip = swap & (rx == 1)
+        x_f, y_f = x.copy(), y.copy()
+        x_f[flip] = s - 1 - x[flip]
+        y_f[flip] = s - 1 - y[flip]
+        x[swap], y[swap] = y_f[swap], x_f[swap]
+        s >>= 1
+    return d
+
+
+def hilbert_decode(d, bits: int = _MAX_BITS):
+    """Inverse of :func:`hilbert_encode`: returns ``(y, x)`` arrays."""
+    d = np.atleast_1d(np.asarray(d, dtype=np.uint64)).copy()
+    x = np.zeros_like(d, dtype=np.int64)
+    y = np.zeros_like(d, dtype=np.int64)
+    t = d.astype(np.int64)
+    s = np.int64(1)
+    while s < (np.int64(1) << bits):
+        rx = 1 & (t // 2)
+        ry = 1 & (t ^ rx)
+        # Rotate back.
+        swap = ry == 0
+        flip = swap & (rx == 1)
+        x_f, y_f = x.copy(), y.copy()
+        x_f[flip] = s - 1 - x[flip]
+        y_f[flip] = s - 1 - y[flip]
+        x[swap], y[swap] = y_f[swap], x_f[swap]
+        x += s * rx
+        y += s * ry
+        t //= 4
+        s <<= 1
+    return y, x
+
+
+def hilbert_sort_order(ys, xs, bits: int = _MAX_BITS) -> np.ndarray:
+    """Argsort indices arranging points along the Hilbert curve."""
+    return np.argsort(hilbert_encode(ys, xs, bits), kind="stable")

@@ -1,0 +1,170 @@
+"""Octree partitioning and 3-D Morton codes — the volumetric APF extension.
+
+UNETR (the paper's carrier model) is natively 3-D, and the paper's related
+work cites octree transformers; extending Eq. 6 to volumes is the obvious
+future-work direction. The builder mirrors :func:`repro.quadtree.build_quadtree`:
+level-synchronous, with an O(1)-per-node 3-D summed-volume table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+__all__ = ["morton3d_encode", "morton3d_decode", "OctreeLeaves",
+           "build_octree"]
+
+_MAX_BITS = 16
+
+
+def _part1by2(v: np.ndarray) -> np.ndarray:
+    """Insert two zero bits between each bit of ``v`` (16 → 48 bit spread)."""
+    v = v.astype(np.uint64)
+    v = (v | (v << np.uint64(32))) & np.uint64(0xFFFF00000000FFFF)
+    v = (v | (v << np.uint64(16))) & np.uint64(0x00FF0000FF0000FF)
+    v = (v | (v << np.uint64(8))) & np.uint64(0xF00F00F00F00F00F)
+    v = (v | (v << np.uint64(4))) & np.uint64(0x30C30C30C30C30C3)
+    v = (v | (v << np.uint64(2))) & np.uint64(0x9249249249249249)
+    return v
+
+
+def _compact1by2(v: np.ndarray) -> np.ndarray:
+    v = v.astype(np.uint64) & np.uint64(0x9249249249249249)
+    v = (v | (v >> np.uint64(2))) & np.uint64(0x30C30C30C30C30C3)
+    v = (v | (v >> np.uint64(4))) & np.uint64(0xF00F00F00F00F00F)
+    v = (v | (v >> np.uint64(8))) & np.uint64(0x00FF0000FF0000FF)
+    v = (v | (v >> np.uint64(16))) & np.uint64(0xFFFF00000000FFFF)
+    v = (v | (v >> np.uint64(32))) & np.uint64(0x000000000000FFFF)
+    return v
+
+
+def morton3d_encode(z, y, x) -> np.ndarray:
+    """Interleave bits of (z, y, x): x in the lowest bit of each triple."""
+    z = np.atleast_1d(np.asarray(z, dtype=np.uint64))
+    y = np.atleast_1d(np.asarray(y, dtype=np.uint64))
+    x = np.atleast_1d(np.asarray(x, dtype=np.uint64))
+    for arr in (z, y, x):
+        if (arr >= (1 << _MAX_BITS)).any():
+            raise ValueError(f"coordinates exceed {_MAX_BITS}-bit range")
+    return ((_part1by2(z) << np.uint64(2)) | (_part1by2(y) << np.uint64(1))
+            | _part1by2(x))
+
+
+def morton3d_decode(code):
+    c = np.atleast_1d(np.asarray(code, dtype=np.uint64))
+    x = _compact1by2(c)
+    y = _compact1by2(c >> np.uint64(1))
+    z = _compact1by2(c >> np.uint64(2))
+    return z.astype(np.int64), y.astype(np.int64), x.astype(np.int64)
+
+
+@dataclass
+class OctreeLeaves:
+    """Leaf set of an octree partition of a ``size^3`` volume."""
+
+    zs: np.ndarray
+    ys: np.ndarray
+    xs: np.ndarray
+    sizes: np.ndarray
+    depths: np.ndarray
+    size: int
+    nodes_visited: int = 0
+
+    def __len__(self) -> int:
+        return len(self.zs)
+
+    @property
+    def sequence_length(self) -> int:
+        return len(self.zs)
+
+    @property
+    def mean_patch_size(self) -> float:
+        return float(self.sizes.mean()) if len(self) else 0.0
+
+    def size_histogram(self) -> Dict[int, int]:
+        vals, counts = np.unique(self.sizes, return_counts=True)
+        return {int(v): int(c) for v, c in zip(vals, counts)}
+
+    def morton_order(self) -> np.ndarray:
+        return np.argsort(morton3d_encode(self.zs, self.ys, self.xs),
+                          kind="stable")
+
+    def sorted_by_morton(self) -> "OctreeLeaves":
+        o = self.morton_order()
+        return OctreeLeaves(self.zs[o], self.ys[o], self.xs[o], self.sizes[o],
+                            self.depths[o], self.size, self.nodes_visited)
+
+    def covers_exactly(self) -> bool:
+        total = int((self.sizes.astype(np.int64) ** 3).sum())
+        if total != self.size ** 3:
+            return False
+        grid = np.zeros((self.size,) * 3, dtype=np.int16)
+        for z, y, x, s in zip(self.zs, self.ys, self.xs, self.sizes):
+            grid[z:z + s, y:y + s, x:x + s] += 1
+        return bool((grid == 1).all())
+
+
+def _integral3d(detail: np.ndarray) -> np.ndarray:
+    ii = detail.astype(np.float64)
+    for ax in range(3):
+        ii = np.cumsum(ii, axis=ax)
+    return np.pad(ii, ((1, 0), (1, 0), (1, 0)))
+
+
+def _region_sums3d(ii, zs, ys, xs, s):
+    z1, y1, x1 = zs + s, ys + s, xs + s
+    return (ii[z1, y1, x1] - ii[zs, y1, x1] - ii[z1, ys, x1] - ii[z1, y1, xs]
+            + ii[zs, ys, x1] + ii[zs, y1, xs] + ii[z1, ys, xs]
+            - ii[zs, ys, xs])
+
+
+def build_octree(detail: np.ndarray, split_value: float, max_depth: int,
+                 min_size: int = 1) -> OctreeLeaves:
+    """Eq. 6 generalized to volumes: split a cube while its detail mass
+    exceeds ``split_value`` and depth/min-size limits allow."""
+    detail = np.asarray(detail)
+    if detail.ndim != 3 or len(set(detail.shape)) != 1:
+        raise ValueError(f"detail map must be a cube, got {detail.shape}")
+    n = detail.shape[0]
+    if n & (n - 1):
+        raise ValueError(f"volume size must be a power of two, got {n}")
+    if min_size < 1 or (min_size & (min_size - 1)):
+        raise ValueError(f"min_size must be a positive power of two, got {min_size}")
+    if split_value < 0:
+        raise ValueError("split_value must be non-negative")
+
+    ii = _integral3d(detail)
+    leaves = {k: [] for k in ("z", "y", "x", "s", "d")}
+    zs = np.zeros(1, dtype=np.int64)
+    ys = np.zeros(1, dtype=np.int64)
+    xs = np.zeros(1, dtype=np.int64)
+    size, depth, visited = n, 0, 0
+    while len(zs):
+        visited += len(zs)
+        sums = _region_sums3d(ii, zs, ys, xs, size)
+        can_split = (depth < max_depth) and (size // 2 >= min_size) and size > 1
+        split = (sums > split_value) if can_split else np.zeros(len(zs), bool)
+        keep = ~split
+        if keep.any():
+            leaves["z"].append(zs[keep])
+            leaves["y"].append(ys[keep])
+            leaves["x"].append(xs[keep])
+            leaves["s"].append(np.full(int(keep.sum()), size, dtype=np.int64))
+            leaves["d"].append(np.full(int(keep.sum()), depth, dtype=np.int64))
+        if split.any():
+            sz, sy, sx = zs[split], ys[split], xs[split]
+            half = size // 2
+            offs = [(dz, dy, dx) for dz in (0, half) for dy in (0, half)
+                    for dx in (0, half)]
+            zs = np.concatenate([sz + dz for dz, _, _ in offs])
+            ys = np.concatenate([sy + dy for _, dy, _ in offs])
+            xs = np.concatenate([sx + dx for _, _, dx in offs])
+            size, depth = half, depth + 1
+        else:
+            break
+
+    return OctreeLeaves(np.concatenate(leaves["z"]), np.concatenate(leaves["y"]),
+                        np.concatenate(leaves["x"]), np.concatenate(leaves["s"]),
+                        np.concatenate(leaves["d"]), n, visited)

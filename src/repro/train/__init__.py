@@ -1,0 +1,16 @@
+"""``repro.train`` — Algorithm 1's training loop, task adapters, history,
+checkpointing, and the §IV-F2 volumetric inference protocol."""
+
+from .checkpoint import load_checkpoint, save_checkpoint
+from .history import TrainingHistory
+from .tasks import (ImageClassificationTask, ImageSegmentationTask,
+                    SequenceClassificationTask, TokenSegmentationTask,
+                    UNETRTask, prepare_image)
+from .trainer import Trainer
+from .volumetric import predict_volume, slices_to_volume_task, volume_dice
+
+__all__ = ["Trainer", "TrainingHistory", "TokenSegmentationTask",
+           "ImageSegmentationTask", "UNETRTask", "SequenceClassificationTask",
+           "ImageClassificationTask", "prepare_image",
+           "save_checkpoint", "load_checkpoint",
+           "predict_volume", "volume_dice", "slices_to_volume_task"]

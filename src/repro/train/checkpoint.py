@@ -1,0 +1,72 @@
+"""Checkpointing: save/restore model + optimizer state as ``.npz``.
+
+Long Frontier runs checkpoint every few epochs; this module provides the
+equivalent for the NumPy substrate, including exact optimizer-state resume
+(Adam moments and step counter), verified bit-for-bit by the test-suite.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..nn.modules import Module
+from ..nn.optim import Adam, Optimizer, SGD
+
+__all__ = ["save_checkpoint", "load_checkpoint"]
+
+_META_KEY = "__checkpoint_meta__"
+
+
+def save_checkpoint(path: str, model: Module,
+                    optimizer: Optional[Optimizer] = None,
+                    epoch: int = 0, extra: Optional[Dict] = None) -> None:
+    """Write model parameters (+ optimizer state) to ``path`` (.npz)."""
+    arrays: Dict[str, np.ndarray] = {}
+    for name, p in model.named_parameters():
+        arrays[f"param/{name}"] = p.data
+    meta = {"epoch": epoch, "extra": extra or {}, "optimizer": None}
+    if optimizer is not None:
+        meta["optimizer"] = {"type": type(optimizer).__name__,
+                             "lr": optimizer.lr}
+        if isinstance(optimizer, Adam):
+            meta["optimizer"]["t"] = optimizer.t
+            for i, (m, v) in enumerate(zip(optimizer._m, optimizer._v)):
+                arrays[f"opt/m/{i}"] = m
+                arrays[f"opt/v/{i}"] = v
+        elif isinstance(optimizer, SGD):
+            for i, vel in enumerate(optimizer._velocity):
+                arrays[f"opt/vel/{i}"] = vel
+    arrays[_META_KEY] = np.frombuffer(
+        json.dumps(meta).encode(), dtype=np.uint8)
+    np.savez(path, **arrays)
+
+
+def load_checkpoint(path: str, model: Module,
+                    optimizer: Optional[Optimizer] = None) -> Dict:
+    """Restore parameters (+ optimizer state) in place; returns metadata."""
+    with np.load(path) as data:
+        meta = json.loads(bytes(data[_META_KEY].tobytes()).decode())
+        state = {name[len("param/"):]: data[name]
+                 for name in data.files if name.startswith("param/")}
+        model.load_state_dict(state)
+        if optimizer is not None:
+            opt_meta = meta.get("optimizer")
+            if opt_meta is None:
+                raise ValueError("checkpoint has no optimizer state")
+            if opt_meta["type"] != type(optimizer).__name__:
+                raise ValueError(
+                    f"optimizer type mismatch: checkpoint has "
+                    f"{opt_meta['type']}, got {type(optimizer).__name__}")
+            optimizer.lr = opt_meta["lr"]
+            if isinstance(optimizer, Adam):
+                optimizer.t = opt_meta["t"]
+                for i in range(len(optimizer.params)):
+                    optimizer._m[i][...] = data[f"opt/m/{i}"]
+                    optimizer._v[i][...] = data[f"opt/v/{i}"]
+            elif isinstance(optimizer, SGD):
+                for i in range(len(optimizer.params)):
+                    optimizer._velocity[i][...] = data[f"opt/vel/{i}"]
+    return meta

@@ -1,0 +1,83 @@
+"""Training history & convergence bookkeeping (Fig. 4, Table II's
+time-to-convergence speedups)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+__all__ = ["TrainingHistory"]
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch records of one training run."""
+
+    train_loss: List[float] = field(default_factory=list)
+    val_loss: List[float] = field(default_factory=list)
+    val_metric: List[float] = field(default_factory=list)
+    epoch_seconds: List[float] = field(default_factory=list)
+    lr: List[float] = field(default_factory=list)
+
+    def record(self, train_loss: float, val_loss: float, val_metric: float,
+               seconds: float, lr: float) -> None:
+        self.train_loss.append(float(train_loss))
+        self.val_loss.append(float(val_loss))
+        self.val_metric.append(float(val_metric))
+        self.epoch_seconds.append(float(seconds))
+        self.lr.append(float(lr))
+
+    @property
+    def epochs(self) -> int:
+        return len(self.train_loss)
+
+    @property
+    def best_metric(self) -> float:
+        if not self.val_metric:
+            raise ValueError("no epochs recorded")
+        return max(self.val_metric)
+
+    def convergence_epoch(self, fraction: float = 0.98) -> int:
+        """First epoch (1-based) whose validation metric reaches ``fraction``
+        of the run's best — the paper's time-to-convergence criterion."""
+        if not self.val_metric:
+            raise ValueError("no epochs recorded")
+        target = self.best_metric * fraction
+        for i, m in enumerate(self.val_metric):
+            if m >= target:
+                return i + 1
+        return self.epochs  # pragma: no cover - unreachable (best reaches itself)
+
+    def time_to_convergence(self, fraction: float = 0.98) -> float:
+        """Wall seconds until the convergence epoch completed."""
+        e = self.convergence_epoch(fraction)
+        return float(np.sum(self.epoch_seconds[:e]))
+
+    def time_to_target(self, target: float) -> float:
+        """Wall seconds until the validation metric first reaches ``target``
+        (the paper's same-dice-score clock); total time if never reached."""
+        if not self.val_metric:
+            raise ValueError("no epochs recorded")
+        for i, m in enumerate(self.val_metric):
+            if m >= target:
+                return float(np.sum(self.epoch_seconds[:i + 1]))
+        return float(np.sum(self.epoch_seconds))
+
+    def loss_stability(self, last_k: int = 5) -> float:
+        """Std-dev of the last ``last_k`` validation losses (Fig. 4's
+        stability comparison: smaller patch sizes converge more stably)."""
+        tail = self.val_loss[-last_k:]
+        if not tail:
+            raise ValueError("no epochs recorded")
+        return float(np.std(tail))
+
+    def to_dict(self) -> Dict[str, List[float]]:
+        return {
+            "train_loss": list(self.train_loss),
+            "val_loss": list(self.val_loss),
+            "val_metric": list(self.val_metric),
+            "epoch_seconds": list(self.epoch_seconds),
+            "lr": list(self.lr),
+        }

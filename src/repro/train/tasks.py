@@ -1,0 +1,235 @@
+"""Task adapters: bind (model, patcher, loss) triples behind one interface.
+
+The trainer only needs ``batch_loss`` / ``val_loss`` / ``evaluate``; these
+adapters encode how each architecture in the zoo consumes a sample —
+token-level supervision for pure ViTs, full-resolution supervision for
+decoder models, cross-entropy for classifiers. One UNETR can thereby be
+trained with uniform *or* adaptive patching by swapping only the patcher
+(Algorithm 1's outer loop).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .. import nn
+from ..metrics import dice_score, per_class_dice, top1_accuracy
+from ..patching import AdaptivePatcher, PatchSequence, UniformPatcher
+
+__all__ = ["TokenSegmentationTask", "ImageSegmentationTask", "UNETRTask",
+           "SequenceClassificationTask", "ImageClassificationTask",
+           "prepare_image"]
+
+
+def prepare_image(image: np.ndarray, channels: int) -> np.ndarray:
+    """Convert a sample image to (C, Z, Z) with the model's channel count."""
+    img = np.asarray(image, dtype=np.float64)
+    if img.ndim == 2:
+        img = img[:, :, None]
+    if img.shape[2] != channels:
+        if channels == 1:
+            img = img.mean(axis=2, keepdims=True)
+        elif img.shape[2] == 1:
+            img = np.repeat(img, channels, axis=2)
+        else:
+            raise ValueError(f"cannot adapt {img.shape[2]} channels to {channels}")
+    return img.transpose(2, 0, 1)
+
+
+def _patcher_image(image: np.ndarray, channels: int) -> np.ndarray:
+    """(Z, Z[, C]) view fed to the patcher, channel-adapted."""
+    return prepare_image(image, channels).transpose(1, 2, 0)
+
+
+class _SegTaskBase:
+    """Shared eval logic: full-resolution dice on predicted probability maps."""
+
+    def __init__(self, model, channels: int):
+        self.model = model
+        self.channels = channels
+
+    def parameters(self):
+        return self.model.parameters()
+
+    def predict_probs(self, sample) -> np.ndarray:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def evaluate(self, samples: Sequence) -> float:
+        """Mean dice (%) over samples."""
+        scores = [dice_score(self.predict_probs(s)[0], s.mask) for s in samples]
+        return float(np.mean(scores))
+
+
+class TokenSegmentationTask(_SegTaskBase):
+    """ViTSegmenter supervised at token level (APF-native training path)."""
+
+    def __init__(self, model, patcher, channels: int = 1):
+        super().__init__(model, channels)
+        self.patcher = patcher
+
+    def _seq_and_targets(self, sample):
+        img = _patcher_image(sample.image, self.channels)
+        seq = self.patcher(img)
+        if hasattr(self.patcher, "patchify_labels"):
+            targets = self.patcher.patchify_labels(sample.mask, seq)
+        else:
+            # Uniform patching: reuse the adaptive label logic via the shared
+            # sequence geometry (leaf == grid cell).
+            targets = AdaptivePatcher(patch_size=seq.patch_size).patchify_labels(
+                sample.mask, seq)
+        return seq, targets
+
+    def batch_loss(self, samples: Sequence) -> nn.Tensor:
+        seqs, targets = [], []
+        for s in samples:
+            seq, t = self._seq_and_targets(s)
+            seqs.append(seq)
+            targets.append(t.reshape(len(seq), -1))
+        logits = self.model.forward_sequences(seqs)
+        y = np.stack(targets)
+        # Mask padded tokens out of the loss.
+        valid = np.stack([s.valid for s in seqs]).astype(np.float64)
+        mask = nn.Tensor(valid[:, :, None])
+        return nn.combined_bce_dice(logits * mask, y * valid[:, :, None])
+
+    def val_loss(self, samples: Sequence) -> float:
+        with nn.no_grad():
+            return float(self.batch_loss(samples).data)
+
+    def predict_probs(self, sample) -> np.ndarray:
+        img = _patcher_image(sample.image, self.channels)
+        return self.model.predict_mask(_natural_sequence(self.patcher, img))
+
+
+def _natural_sequence(patcher, img):
+    """Inference-time sequence: skip random drop/pad when the patcher is
+    adaptive (single images need no batching, and drops would leave holes)."""
+    if hasattr(patcher, "extract_natural"):
+        return patcher.extract_natural(img)
+    return patcher(img)
+
+
+class ImageSegmentationTask(_SegTaskBase):
+    """U-Net / TransUNet / Swin: images in, full-res logits out."""
+
+    def __init__(self, model, channels: int = 1, multiclass: int = 0):
+        super().__init__(model, channels)
+        self.multiclass = multiclass
+
+    def _images(self, samples) -> np.ndarray:
+        return np.stack([prepare_image(s.image, self.channels) for s in samples])
+
+    def batch_loss(self, samples: Sequence) -> nn.Tensor:
+        logits = self.model(self._images(samples))
+        if self.multiclass:
+            onehot = np.zeros(logits.shape)
+            for i, s in enumerate(samples):
+                m = s.mask.astype(int)
+                for k in range(self.multiclass):
+                    onehot[i, k][m == k] = 1.0
+            return (nn.multiclass_dice_loss(logits, onehot)
+                    + nn.cross_entropy(logits.transpose(0, 2, 3, 1),
+                                       np.stack([s.mask.astype(int) for s in samples])))
+        masks = np.stack([s.mask[None] for s in samples])
+        return nn.combined_bce_dice(logits, masks)
+
+    def val_loss(self, samples: Sequence) -> float:
+        with nn.no_grad():
+            return float(self.batch_loss(samples).data)
+
+    def predict_probs(self, sample) -> np.ndarray:
+        return self.model.predict_mask(prepare_image(sample.image, self.channels))
+
+    def evaluate(self, samples: Sequence) -> float:
+        if not self.multiclass:
+            return super().evaluate(samples)
+        scores = []
+        for s in samples:
+            with nn.no_grad():
+                logits = self.model(self._images([s])).data[0]
+            pred = logits.argmax(axis=0)
+            scores.append(np.nanmean(per_class_dice(pred, s.mask.astype(int),
+                                                    self.multiclass)))
+        return float(np.mean(scores))
+
+
+class UNETRTask(_SegTaskBase):
+    """UNETR2D: patch sequence + raw image in, full-res logits out."""
+
+    def __init__(self, model, patcher, channels: int = 1):
+        super().__init__(model, channels)
+        self.patcher = patcher
+
+    def batch_loss(self, samples: Sequence) -> nn.Tensor:
+        imgs = np.stack([prepare_image(s.image, self.channels) for s in samples])
+        seqs = [self.patcher(_patcher_image(s.image, self.channels))
+                for s in samples]
+        logits = self.model.forward_sequences(seqs, imgs)
+        masks = np.stack([s.mask[None] for s in samples])
+        return nn.combined_bce_dice(logits, masks)
+
+    def val_loss(self, samples: Sequence) -> float:
+        with nn.no_grad():
+            return float(self.batch_loss(samples).data)
+
+    def predict_probs(self, sample) -> np.ndarray:
+        img = prepare_image(sample.image, self.channels)
+        seq = _natural_sequence(self.patcher,
+                                _patcher_image(sample.image, self.channels))
+        return self.model.predict_mask(seq, img)
+
+
+class SequenceClassificationTask:
+    """ViTClassifier over patch sequences (Table V: ViT / APF-ViT)."""
+
+    def __init__(self, model, patcher, channels: int = 3):
+        self.model = model
+        self.patcher = patcher
+        self.channels = channels
+
+    def parameters(self):
+        return self.model.parameters()
+
+    def _seqs(self, samples) -> List[PatchSequence]:
+        return [self.patcher(_patcher_image(s.image, self.channels))
+                for s in samples]
+
+    def batch_loss(self, samples: Sequence) -> nn.Tensor:
+        logits = self.model.forward_sequences(self._seqs(samples))
+        labels = np.array([s.organ for s in samples])
+        return nn.cross_entropy(logits, labels)
+
+    def val_loss(self, samples: Sequence) -> float:
+        with nn.no_grad():
+            return float(self.batch_loss(samples).data)
+
+    def evaluate(self, samples: Sequence) -> float:
+        preds = [self.model.predict(seq) for seq in self._seqs(samples)]
+        return top1_accuracy(preds, [s.organ for s in samples])
+
+
+class ImageClassificationTask:
+    """HIPTLite classification straight from images (Table V competitor)."""
+
+    def __init__(self, model, channels: int = 3):
+        self.model = model
+        self.channels = channels
+
+    def parameters(self):
+        return self.model.parameters()
+
+    def batch_loss(self, samples: Sequence) -> nn.Tensor:
+        imgs = np.stack([prepare_image(s.image, self.channels) for s in samples])
+        logits = self.model(imgs)
+        return nn.cross_entropy(logits, np.array([s.organ for s in samples]))
+
+    def val_loss(self, samples: Sequence) -> float:
+        with nn.no_grad():
+            return float(self.batch_loss(samples).data)
+
+    def evaluate(self, samples: Sequence) -> float:
+        preds = [self.model.predict(prepare_image(s.image, self.channels))
+                 for s in samples]
+        return top1_accuracy(preds, [s.organ for s in samples])

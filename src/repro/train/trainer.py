@@ -1,0 +1,104 @@
+"""Epoch-driven trainer implementing Algorithm 1 lines 8-15.
+
+Works with any task adapter from :mod:`repro.train.tasks`; records the
+:class:`~repro.train.history.TrainingHistory` the Fig. 4 and Table II
+analyses consume (loss curves, epoch wall time, convergence epoch).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from .. import nn
+from .history import TrainingHistory
+
+__all__ = ["Trainer"]
+
+
+class Trainer:
+    """Minimal but complete training loop.
+
+    Parameters
+    ----------
+    task:
+        Adapter exposing ``batch_loss`` / ``val_loss`` / ``evaluate`` /
+        ``parameters``.
+    optimizer:
+        Any :mod:`repro.nn.optim` optimizer over ``task.parameters()``.
+    scheduler:
+        Optional LR scheduler stepped once per epoch (paper: MultiStepLR).
+    batch_size:
+        Samples per gradient step (paper uses 16 at low resolutions).
+    grad_clip:
+        Global-norm clip; 0 disables.
+    """
+
+    def __init__(self, task, optimizer, scheduler=None, batch_size: int = 4,
+                 grad_clip: float = 5.0, seed: int = 0,
+                 time_fn: Callable[[], float] = time.perf_counter):
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.task = task
+        self.optimizer = optimizer
+        self.scheduler = scheduler
+        self.batch_size = batch_size
+        self.grad_clip = grad_clip
+        self.rng = np.random.default_rng(seed)
+        self.time_fn = time_fn
+
+    def train_epoch(self, samples: Sequence) -> float:
+        """One pass over ``samples``; returns mean batch loss."""
+        order = self.rng.permutation(len(samples))
+        losses = []
+        for start in range(0, len(samples), self.batch_size):
+            batch = [samples[i] for i in order[start:start + self.batch_size]]
+            self.optimizer.zero_grad()
+            loss = self.task.batch_loss(batch)
+            value = float(loss.data)
+            if not np.isfinite(value):
+                raise FloatingPointError(
+                    f"non-finite training loss ({value}) at batch starting "
+                    f"index {start}; lower the learning rate or enable "
+                    f"gradient clipping")
+            loss.backward()
+            if self.grad_clip:
+                nn.clip_grad_norm(self.optimizer.params, self.grad_clip)
+            self.optimizer.step()
+            losses.append(value)
+        return float(np.mean(losses))
+
+    def fit(self, train_samples: Sequence, val_samples: Sequence,
+            epochs: int, verbose: bool = False) -> TrainingHistory:
+        """Train for ``epochs``; evaluate on ``val_samples`` each epoch."""
+        if epochs < 1:
+            raise ValueError("epochs must be >= 1")
+        if not len(train_samples) or not len(val_samples):
+            raise ValueError("train and validation sets must be non-empty")
+        history = TrainingHistory()
+        for epoch in range(epochs):
+            t0 = self.time_fn()
+            train_loss = self.train_epoch(train_samples)
+            val_loss = self.task.val_loss(list(val_samples))
+            metric = self.task.evaluate(list(val_samples))
+            seconds = self.time_fn() - t0
+            if self.scheduler is not None:
+                self.scheduler.step()
+            history.record(train_loss, val_loss, metric, seconds,
+                           self.optimizer.lr)
+            if verbose:  # pragma: no cover - logging only
+                print(f"epoch {epoch + 1:4d}  train {train_loss:.4f}  "
+                      f"val {val_loss:.4f}  metric {metric:.2f}  "
+                      f"{seconds:.2f}s")
+        return history
+
+    def seconds_per_image(self, samples: Sequence, repeats: int = 1) -> float:
+        """Measured end-to-end training seconds per image (Table II/III metric):
+        forward + backward + optimizer step, averaged over ``repeats`` passes."""
+        t0 = self.time_fn()
+        for _ in range(repeats):
+            self.train_epoch(samples)
+        dt = self.time_fn() - t0
+        return dt / (repeats * len(samples))

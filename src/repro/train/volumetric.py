@@ -1,0 +1,63 @@
+"""Per-slice 2-D inference reassembled into 3-D predictions (paper §IV-F2).
+
+The paper follows the fixed-point/TransUNet convention for BTCV: "we applied
+APF to each 2D slice of each CT sample and inferred all the slices to
+reconstruct the final 3D predictions". This module implements that protocol
+for any task adapter exposing per-slice class predictions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence
+
+import numpy as np
+
+from .. import nn
+from ..metrics import per_class_dice
+
+__all__ = ["predict_volume", "volume_dice"]
+
+
+def predict_volume(predict_slice: Callable[[np.ndarray], np.ndarray],
+                   volume: np.ndarray) -> np.ndarray:
+    """Apply a per-slice class predictor along axis 0 of a (S, Z, Z) volume."""
+    v = np.asarray(volume)
+    if v.ndim != 3:
+        raise ValueError(f"expected (slices, Z, Z) volume, got {v.shape}")
+    return np.stack([predict_slice(v[i]) for i in range(v.shape[0])])
+
+
+def volume_dice(pred_volume: np.ndarray, true_volume: np.ndarray,
+                num_classes: int) -> float:
+    """3-D dice averaged over organ classes, computed on the *whole volume*
+    (pooling intersections across slices, as the challenge metric does)."""
+    p = np.asarray(pred_volume)
+    t = np.asarray(true_volume)
+    if p.shape != t.shape:
+        raise ValueError(f"shape mismatch: {p.shape} vs {t.shape}")
+    return float(np.nanmean(per_class_dice(p, t, num_classes)))
+
+
+def slices_to_volume_task(task, samples: Sequence) -> float:
+    """Evaluate a 2-D task on a stack of slice samples as one 3-D volume.
+
+    ``samples`` are slice objects of a single subject (ordered); returns the
+    volumetric mean-organ dice.
+    """
+    from .tasks import prepare_image
+
+    preds: List[np.ndarray] = []
+    masks: List[np.ndarray] = []
+    for s in samples:
+        img = prepare_image(s.image, 1)
+        if hasattr(task, "patcher"):
+            seq = task.patcher(img.transpose(1, 2, 0))
+            with nn.no_grad():
+                logits = task.model.forward_sequences([seq], img[None]).data[0]
+        else:
+            with nn.no_grad():
+                logits = task.model(img[None]).data[0]
+        preds.append(logits.argmax(axis=0))
+        masks.append(s.mask.astype(int))
+    num_classes = int(max(m.max() for m in masks)) + 1
+    return volume_dice(np.stack(preds), np.stack(masks), num_classes)

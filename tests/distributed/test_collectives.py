@@ -1,0 +1,94 @@
+"""Tests for the simulated collectives: exactness of the ring algorithm and
+traffic accounting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distributed import SimCluster
+
+
+class TestRingAllReduce:
+    def test_sum_exact(self):
+        rng = np.random.default_rng(0)
+        w = 4
+        bufs = [rng.normal(size=(3, 5)) for _ in range(w)]
+        out, stats = SimCluster(w).ring_all_reduce(bufs)
+        expected = np.sum(bufs, axis=0)
+        for o in out:
+            np.testing.assert_allclose(o, expected, rtol=1e-12)
+
+    def test_single_rank_identity(self):
+        buf = np.arange(6.0).reshape(2, 3)
+        out, stats = SimCluster(1).ring_all_reduce([buf])
+        np.testing.assert_array_equal(out[0], buf)
+        assert stats.bytes_sent_per_rank == 0
+
+    def test_step_count_is_2w_minus_2(self):
+        w = 8
+        bufs = [np.ones(16) for _ in range(w)]
+        _, stats = SimCluster(w).ring_all_reduce(bufs)
+        assert stats.steps == 2 * (w - 1)
+
+    def test_traffic_matches_ring_formula(self):
+        # Ring all-reduce sends 2*(W-1)/W * nbytes per rank.
+        w, n = 4, 64
+        bufs = [np.ones(n) for _ in range(w)]
+        _, stats = SimCluster(w).ring_all_reduce(bufs)
+        expected = 2 * (w - 1) / w * n * 8
+        assert stats.bytes_sent_per_rank == pytest.approx(expected, rel=0.01)
+
+    def test_buffer_count_mismatch(self):
+        with pytest.raises(ValueError):
+            SimCluster(3).ring_all_reduce([np.ones(4)] * 2)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            SimCluster(2).ring_all_reduce([np.ones(4), np.ones(5)])
+
+    def test_odd_world_and_small_buffer(self):
+        # n < w exercises empty chunks.
+        w = 5
+        bufs = [np.full(3, float(r)) for r in range(w)]
+        out, _ = SimCluster(w).ring_all_reduce(bufs)
+        np.testing.assert_allclose(out[0], np.full(3, sum(range(w))))
+
+    @given(st.integers(2, 8), st.integers(1, 40), st.integers(0, 10 ** 6))
+    @settings(max_examples=30, deadline=None)
+    def test_property_matches_numpy_sum(self, w, n, seed):
+        rng = np.random.default_rng(seed)
+        bufs = [rng.normal(size=n) for _ in range(w)]
+        out, _ = SimCluster(w).ring_all_reduce(bufs)
+        for o in out:
+            np.testing.assert_allclose(o, np.sum(bufs, axis=0), rtol=1e-10,
+                                       atol=1e-12)
+
+
+class TestOtherCollectives:
+    def test_all_gather(self):
+        w = 3
+        bufs = [np.full(2, float(r)) for r in range(w)]
+        out, stats = SimCluster(w).all_gather(bufs)
+        np.testing.assert_array_equal(out[0], [0, 0, 1, 1, 2, 2])
+        assert len(out) == w
+        assert stats.bytes_sent_per_rank > 0
+
+    def test_broadcast(self):
+        out, stats = SimCluster(4).broadcast(np.arange(3.0))
+        assert len(out) == 4
+        for o in out:
+            np.testing.assert_array_equal(o, [0, 1, 2])
+
+    def test_shard_indices_cover_all(self):
+        c = SimCluster(3)
+        all_idx = np.concatenate([c.shard_indices(10, r) for r in range(3)])
+        np.testing.assert_array_equal(np.sort(all_idx), np.arange(10))
+
+    def test_shard_rank_validation(self):
+        with pytest.raises(ValueError):
+            SimCluster(2).shard_indices(10, 2)
+
+    def test_world_size_validation(self):
+        with pytest.raises(ValueError):
+            SimCluster(0)

@@ -1,0 +1,132 @@
+"""Tests for data-parallel simulation: exact equivalence with single-process
+training is the load-bearing property."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.data import generate_wsi
+from repro.distributed import DataParallelSimulator
+from repro.models import ViTSegmenter
+from repro.patching import UniformPatcher
+from repro.train import TokenSegmentationTask
+
+
+def make_task(seed=0, dtype=np.float64):
+    model = ViTSegmenter(patch_size=8, channels=1, dim=16, depth=1, heads=2,
+                         max_len=32, rng=np.random.default_rng(seed), dtype=dtype)
+    return TokenSegmentationTask(model, UniformPatcher(8), channels=1)
+
+
+def samples(n=4, z=32):
+    return [generate_wsi(z, seed=i) for i in range(n)]
+
+
+class _DecomposableTask:
+    """Tiny regression task whose loss is a per-sample mean, so the
+    full-batch gradient equals the weighted mean of shard gradients —
+    the setting in which synchronous DP is *exactly* single-process SGD."""
+
+    def __init__(self, seed=0):
+        rng = np.random.default_rng(seed)
+        self.w = nn.Parameter(rng.normal(size=(8, 8)))
+
+    def parameters(self):
+        return [self.w]
+
+    def batch_loss(self, batch):
+        xs = np.stack([b[0] for b in batch])
+        ys = np.stack([b[1] for b in batch])
+        pred = nn.Tensor(xs) @ self.w
+        diff = pred - nn.Tensor(ys)
+        return (diff * diff).mean()
+
+
+def regression_batch(n, seed=0):
+    rng = np.random.default_rng(seed)
+    return [(rng.normal(size=8), rng.normal(size=8)) for _ in range(n)]
+
+
+class TestDataParallelExactness:
+    def test_matches_single_process_sgd_decomposable_loss(self):
+        batch = regression_batch(4)
+        t1 = _DecomposableTask(seed=7)
+        opt1 = nn.SGD(t1.parameters(), lr=0.05)
+        opt1.zero_grad()
+        loss = t1.batch_loss(batch)
+        loss.backward()
+        opt1.step()
+        ref = t1.w.data.copy()
+
+        t2 = _DecomposableTask(seed=7)
+        sim = DataParallelSimulator(t2, nn.SGD(t2.parameters(), lr=0.05),
+                                    world_size=4)
+        report = sim.step(batch)
+        np.testing.assert_allclose(t2.w.data, ref, rtol=1e-12, atol=1e-14)
+        assert report.loss == pytest.approx(float(loss.data), rel=1e-12)
+
+    def test_uneven_shards_still_exact(self):
+        batch = regression_batch(5, seed=1)  # shards of 3 and 2
+        t1 = _DecomposableTask(seed=3)
+        opt1 = nn.SGD(t1.parameters(), lr=0.05)
+        opt1.zero_grad()
+        t1.batch_loss(batch).backward()
+        opt1.step()
+        ref = t1.w.data.copy()
+
+        t2 = _DecomposableTask(seed=3)
+        sim = DataParallelSimulator(t2, nn.SGD(t2.parameters(), lr=0.05),
+                                    world_size=2)
+        sim.step(batch)
+        np.testing.assert_allclose(t2.w.data, ref, rtol=1e-12, atol=1e-14)
+
+    def test_dice_loss_dp_close_but_reduced_exactly(self):
+        # Dice is not decomposable: DP averages shard gradients (what real
+        # DDP does). Verify DP equals the manual weighted-average reference.
+        batch = samples(4)
+        t1 = make_task(seed=7)
+        params1 = t1.parameters()
+        grads = None
+        sizes = [2, 2]
+        for shard in (batch[:2], batch[2:]):
+            for p in params1:
+                p.grad = None
+            t1.batch_loss(shard).backward()
+            shard_grads = [p.grad.copy() for p in params1]
+            if grads is None:
+                grads = [g * (2 / 4) for g in shard_grads]
+            else:
+                grads = [a + g * (2 / 4) for a, g in zip(grads, shard_grads)]
+        ref = [p.data - 0.05 * g for p, g in zip(params1, grads)]
+
+        t2 = make_task(seed=7)
+        sim = DataParallelSimulator(t2, nn.SGD(t2.parameters(), lr=0.05),
+                                    world_size=2)
+        sim.step(batch)
+        for a, b in zip(ref, [p.data for p in t2.parameters()]):
+            np.testing.assert_allclose(a, b, rtol=1e-7, atol=1e-9)
+
+    def test_batch_smaller_than_world_rejected(self):
+        t = make_task()
+        sim = DataParallelSimulator(t, nn.SGD(t.parameters(), lr=0.1),
+                                    world_size=8)
+        with pytest.raises(ValueError):
+            sim.step(samples(2))
+
+    def test_report_fields(self):
+        t = make_task()
+        sim = DataParallelSimulator(t, nn.SGD(t.parameters(), lr=0.1),
+                                    world_size=2)
+        r = sim.step(samples(2))
+        assert r.measured_compute_seconds > 0
+        assert r.simulated_comm_seconds > 0
+        assert r.comm_bytes_per_rank > 0
+        assert r.simulated_step_seconds == pytest.approx(
+            r.measured_compute_seconds + r.simulated_comm_seconds)
+
+    def test_world1_no_comm(self):
+        t = make_task()
+        sim = DataParallelSimulator(t, nn.SGD(t.parameters(), lr=0.1),
+                                    world_size=1)
+        r = sim.step(samples(2))
+        assert r.simulated_comm_seconds == 0.0

@@ -1,0 +1,49 @@
+"""Tests for the Ulysses sequence-parallel attention reference."""
+
+import numpy as np
+import pytest
+
+from repro.distributed import ulysses_attention
+from repro.distributed.sequence_parallel import _dense_attention
+
+
+def qkv(h=4, n=16, dh=8, seed=0):
+    rng = np.random.default_rng(seed)
+    return (rng.normal(size=(h, n, dh)), rng.normal(size=(h, n, dh)),
+            rng.normal(size=(h, n, dh)))
+
+
+class TestUlysses:
+    def test_equals_dense_attention(self):
+        q, k, v = qkv()
+        for w in (1, 2, 4):
+            out, _ = ulysses_attention(q, k, v, w)
+            np.testing.assert_allclose(out, _dense_attention(q, k, v),
+                                       rtol=1e-12)
+
+    def test_flops_conserved_across_ranks(self):
+        # Total FLOPs = dense FLOPs: sequence parallelism does NOT reduce work
+        # (the paper's core argument for APF).
+        q, k, v = qkv()
+        _, r1 = ulysses_attention(q, k, v, 1)
+        _, r4 = ulysses_attention(q, k, v, 4)
+        assert r4.flops_per_rank * 4 == pytest.approx(r1.flops_per_rank)
+
+    def test_traffic_grows_with_world(self):
+        q, k, v = qkv(h=8, n=32)
+        _, r2 = ulysses_attention(q, k, v, 2)
+        _, r8 = ulysses_attention(q, k, v, 8)
+        assert r8.all_to_all_bytes_per_rank > 0
+        assert r2.all_to_all_bytes_per_rank > 0
+
+    def test_divisibility_validation(self):
+        q, k, v = qkv(h=4, n=16)
+        with pytest.raises(ValueError):
+            ulysses_attention(q, k, v, 3)
+        with pytest.raises(ValueError):
+            ulysses_attention(q, k, v, 0)
+
+    def test_world1_zero_traffic(self):
+        q, k, v = qkv()
+        _, r = ulysses_attention(q, k, v, 1)
+        assert r.all_to_all_bytes_per_rank == 0.0

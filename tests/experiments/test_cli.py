@@ -1,0 +1,33 @@
+"""Tests for the ``python -m repro.experiments`` CLI."""
+
+import pytest
+
+from repro.experiments.__main__ import _RUNNERS, main
+
+
+class TestCli:
+    def test_runner_registry_covers_all_artifacts(self):
+        assert {"fig1", "fig2", "fig3", "fig4-models", "fig4-patches",
+                "table2", "table2-projection", "table3", "table4", "table5",
+                "overhead"} == set(_RUNNERS)
+
+    def test_fig1_runs(self, capsys):
+        rc = main(["fig1", "--resolution", "64"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "sequence reduction" in out
+
+    def test_table2_projection_runs(self, capsys):
+        rc = main(["table2-projection"])
+        assert rc == 0
+        assert "model x" in capsys.readouterr().out
+
+    def test_invalid_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["table99"])
+
+    def test_scale_flags_forwarded(self, capsys):
+        rc = main(["table2", "--resolution", "32", "--samples", "6",
+                   "--epochs", "2", "--dim", "16", "--depth", "1"])
+        assert rc == 0
+        assert "speedup" in capsys.readouterr().out

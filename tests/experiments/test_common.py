@@ -1,0 +1,60 @@
+"""Tests for shared experiment utilities."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import ExperimentScale, format_table
+from repro.experiments.common import (ensure_nonempty_splits,
+                                      natural_target_length)
+
+
+class TestFormatTable:
+    def test_alignment_and_rows(self):
+        out = format_table(["a", "bb"], [[1, 22], [333, 4]])
+        lines = out.splitlines()
+        assert len(lines) == 4  # header, rule, 2 rows
+        assert lines[0].startswith("a")
+        # Columns align: every line same length when padded.
+        assert len(set(len(l.rstrip()) <= len(lines[1]) for l in lines)) == 1
+
+    def test_empty_rows(self):
+        out = format_table(["x"], [])
+        assert "x" in out
+
+
+class TestEnsureNonemptySplits:
+    def test_borrows_from_train(self):
+        train, val, test = ensure_nonempty_splits([1, 2, 3, 4], [], [])
+        assert len(train) == 2 and len(val) == 1 and len(test) == 1
+
+    def test_leaves_full_splits_alone(self):
+        train, val, test = ensure_nonempty_splits([1, 2], [3], [4])
+        assert (train, val, test) == ([1, 2], [3], [4])
+
+    def test_tiny_dataset_reuses_val_as_test(self):
+        train, val, test = ensure_nonempty_splits([1, 2], [], [])
+        assert val and test  # test falls back to val's sample
+        assert test == val
+
+    def test_all_samples_preserved(self):
+        train, val, test = ensure_nonempty_splits([1, 2, 3], [], [4])
+        assert sorted(train + val + test) == [1, 2, 3, 4]
+
+
+class TestNaturalTargetLength:
+    def test_headroom_above_natural(self):
+        scale = ExperimentScale(resolution=64, seed=0)
+        t = natural_target_length(scale, patch=4, split_value=2.0)
+        # Must be at least the probe images' natural lengths.
+        from repro.data import generate_wsi
+        from repro.patching import AdaptivePatcher
+        p = AdaptivePatcher(patch_size=4, split_value=2.0)
+        nat = max(len(p.extract_natural(
+            generate_wsi(64, seed=i).image.mean(axis=2))) for i in range(3))
+        assert nat <= t
+        assert t <= (64 // 4) ** 2  # capped at the uniform budget
+
+    def test_floor_of_eight(self):
+        scale = ExperimentScale(resolution=32, seed=0)
+        t = natural_target_length(scale, patch=8, split_value=1e9)
+        assert t >= 8

@@ -1,0 +1,159 @@
+"""Smoke + shape tests for the per-table/figure experiment runners.
+
+Full-scale assertions live in benchmarks/; here every runner is exercised at
+minimum scale to pin interfaces and basic invariants.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (ExperimentScale, geomean, run_fig1, run_fig2,
+                               run_fig3, run_fig4_models,
+                               run_fig4_patch_sweep, run_overhead,
+                               run_table2_measured, run_table2_projection,
+                               run_table3, run_table4, run_table5)
+
+TINY = ExperimentScale(resolution=32, n_samples=6, epochs=2, dim=16, depth=1,
+                       heads=2, batch_size=2)
+
+
+class TestGeomean:
+    def test_value(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+        with pytest.raises(ValueError):
+            geomean([])
+
+
+class TestFig1:
+    def test_reduction_positive(self):
+        r = run_fig1(resolution=64, n_images=2)
+        assert r.uniform_patches == (64 // 4) ** 2
+        assert r.adaptive_patches_mean < r.uniform_patches
+        assert r.sequence_reduction > 1.0
+        assert r.attention_reduction == pytest.approx(r.sequence_reduction ** 2)
+        assert "uniform patches" in r.rows()
+
+
+class TestFig3:
+    def test_split_sweep_shapes(self):
+        r = run_fig3(resolution=64, n_images=4, split_values=(2.0, 8.0, 32.0))
+        assert len(r.avg_patch_size) == 3
+        # Larger v → coarser patches, shorter sequences.
+        assert r.avg_patch_size == sorted(r.avg_patch_size)
+        assert r.avg_seq_length == sorted(r.avg_seq_length, reverse=True)
+        assert -1.0 <= r.linearity_r2() <= 1.0
+        assert "split value" in r.rows()
+
+    def test_histograms_cover_lengths(self):
+        r = run_fig3(resolution=64, n_images=2, split_values=(4.0,))
+        total = sum(r.patch_histograms[0].values())
+        assert total == sum(r.seq_length_samples[0])
+
+
+class TestTable2:
+    def test_measured_interface(self):
+        r = run_table2_measured(TINY)
+        assert r.sec_per_image_apf > 0
+        assert r.sec_per_image_uniform > 0
+        assert r.speedup_sec_per_image == pytest.approx(
+            r.sec_per_image_uniform / r.sec_per_image_apf)
+        assert "speedup" in r.rows()
+
+    def test_projection_has_all_paper_rows(self):
+        r = run_table2_projection()
+        assert len(r.projection) == 7
+        assert {row.resolution for row in r.projection} == \
+            {512, 1024, 4096, 8192, 16384, 32768, 65536}
+        # Sequence reduction means APF always projected faster.
+        assert all(row.projected_speedup > 1 for row in r.projection)
+        assert r.projected_geomean > 1
+        assert "model x" in r.rows()
+
+
+class TestTable3:
+    def test_rows_complete(self):
+        r = run_table3(TINY, apf_patches=(4,), uniform_patches=(4,))
+        names = [row.model for row in r.rows_]
+        assert any(n.startswith("APF") for n in names)
+        assert "TransUNet" in names and "U-Net" in names
+        assert np.isfinite(r.dice_improvement)
+        assert np.isfinite(r.transformer_improvement)
+        assert len(r.equal_cost_pairs()) >= 1
+        assert "dice %" in r.rows()
+
+    def test_unetr_carrier(self):
+        r = run_table3(TINY, apf_patches=(4,), uniform_patches=(4,),
+                       carrier="unetr")
+        assert any("UNETR" in row.model for row in r.rows_)
+
+
+class TestTable4:
+    def test_rows_and_relative_time(self):
+        r = run_table4(TINY)
+        names = {row.model for row in r.rows_}
+        assert names == {"U-Net", "TransUNet", "Swin-UNETR", "UNETR",
+                         "APF-UNETR"}
+        assert all(row.seconds_total > 0 for row in r.rows_)
+        assert all(0 <= row.dice <= 100 for row in r.rows_)
+        assert "rel. time" in r.rows()
+
+    def test_missing_row_raises(self):
+        r = run_table4(TINY)
+        with pytest.raises(KeyError):
+            r.row("nope")
+
+
+class TestTable5:
+    def test_rows_and_accuracies(self):
+        r = run_table5(ExperimentScale(resolution=32, epochs=2, dim=16,
+                                       depth=1, heads=2, batch_size=6,
+                                       lr=1e-2),
+                       per_class_train=1, per_class_test=1, big_patch=8,
+                       small_patch=4)
+        assert [row.model for row in r.rows_] == ["ViT", "HIPT", "APF-ViT"]
+        for row in r.rows_:
+            assert 0 <= row.accuracy <= 100
+        assert r.acc("ViT") == r.rows_[0].accuracy
+        with pytest.raises(KeyError):
+            r.acc("nope")
+
+
+class TestFig4:
+    def test_models_panel(self):
+        r = run_fig4_models(TINY)
+        assert set(r.histories) == {"U-Net", "UNETR-8", "APF-UNETR-2"}
+        for h in r.histories.values():
+            assert h.epochs == TINY.epochs
+        assert np.isfinite(r.stability("U-Net"))
+        assert "final val loss" in r.rows()
+
+    def test_patch_sweep_panel(self):
+        r = run_fig4_patch_sweep(TINY, patches=(4, 8))
+        assert set(r.histories) == {"UNETR-4", "UNETR-8"}
+
+
+class TestFig2:
+    def test_previews_and_artifacts(self, tmp_path):
+        r = run_fig2(TINY, artifact_dir=str(tmp_path))
+        assert set(r.dice) == {"GroundTruth", "TransUNet", "UNETR",
+                               "APF-UNETR"}
+        assert r.dice["GroundTruth"] == 100.0
+        assert len(r.artifact_paths) == 3
+        for p in r.artifact_paths:
+            with open(p, "rb") as f:
+                assert f.read(2) == b"P5"
+        assert "#" in r.previews["GroundTruth"] or "." in r.previews["GroundTruth"]
+
+
+class TestOverhead:
+    def test_negligible_claim(self):
+        r = run_overhead(resolutions=(32, 64), n_images=2)
+        assert len(r.preprocess_seconds) == 2
+        assert all(t > 0 for t in r.preprocess_seconds)
+        # §IV-G.3: preprocessing ≪ training. Generous bound for CI noise.
+        assert r.overhead_fraction < 0.5
+        assert "resolution" in r.rows()

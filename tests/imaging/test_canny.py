@@ -1,0 +1,86 @@
+"""Tests for Canny edge detection: synthetic shapes with known edges."""
+
+import numpy as np
+import pytest
+
+from repro.imaging import canny_edges
+from repro.imaging.canny import hysteresis, nonmax_suppression
+
+
+def square_image(size=64, lo=0.1, hi=0.9):
+    img = np.full((size, size), lo)
+    img[16:48, 16:48] = hi
+    return img
+
+
+class TestCanny:
+    def test_flat_image_no_edges(self):
+        assert canny_edges(np.full((32, 32), 0.5)).sum() == 0
+
+    def test_square_produces_boundary_edges(self):
+        edges = canny_edges(square_image())
+        assert edges.sum() > 0
+        # Edges should hug the square border: nothing deep inside or far outside.
+        assert edges[28:36, 28:36].sum() == 0  # interior
+        assert edges[:8, :8].sum() == 0        # far corner
+
+    def test_edge_count_scales_with_perimeter_not_area(self):
+        e64 = canny_edges(square_image(64)).sum()
+        img128 = np.full((128, 128), 0.1)
+        img128[32:96, 32:96] = 0.9
+        e128 = canny_edges(img128).sum()
+        ratio = e128 / e64
+        assert 1.5 < ratio < 3.0  # perimeter doubles; area would quadruple
+
+    def test_accepts_0_255_range(self):
+        e01 = canny_edges(square_image())
+        e255 = canny_edges(square_image() * 255.0)
+        np.testing.assert_array_equal(e01, e255)
+
+    def test_threshold_ordering_enforced(self):
+        with pytest.raises(ValueError):
+            canny_edges(square_image(), low=200, high=100)
+
+    def test_rejects_color_input(self):
+        with pytest.raises(ValueError):
+            canny_edges(np.zeros((8, 8, 3)))
+
+    def test_higher_thresholds_fewer_edges(self):
+        rng = np.random.default_rng(0)
+        img = rng.random((64, 64))
+        loose = canny_edges(img, low=20, high=40).sum()
+        strict = canny_edges(img, low=150, high=250).sum()
+        assert strict <= loose
+
+    def test_returns_boolean(self):
+        assert canny_edges(square_image()).dtype == bool
+
+
+class TestNms:
+    def test_thins_thick_response(self):
+        # A ramp produces a wide Sobel response; NMS should keep one ridge.
+        img = np.zeros((16, 16))
+        img[:, 8:] = 1.0
+        from repro.imaging.filters import sobel_gradients
+        _, _, mag, ang = sobel_gradients(img)
+        nms = nonmax_suppression(mag, ang)
+        assert (nms > 0).sum() <= (mag > 0).sum()
+        assert (nms > 0).any()
+
+
+class TestHysteresis:
+    def test_weak_connected_to_strong_survives(self):
+        nms = np.zeros((8, 8))
+        nms[4, 2] = 250.0  # strong
+        nms[4, 3] = 150.0  # weak, adjacent → kept
+        nms[1, 6] = 150.0  # weak, isolated → dropped
+        out = hysteresis(nms, low=100, high=200)
+        assert out[4, 2] and out[4, 3]
+        assert not out[1, 6]
+
+    def test_all_below_low_empty(self):
+        out = hysteresis(np.full((8, 8), 50.0), low=100, high=200)
+        assert out.sum() == 0
+
+    def test_empty_input(self):
+        assert hysteresis(np.zeros((4, 4)), 100, 200).sum() == 0

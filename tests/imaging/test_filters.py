@@ -1,0 +1,106 @@
+"""Tests for Gaussian blur, Sobel, and normalization."""
+
+import numpy as np
+import pytest
+
+from repro.imaging import (gaussian_blur, gaussian_kernel1d, normalize01,
+                           sobel_gradients, to_grayscale)
+from repro.imaging.filters import KSIZE_FOR_RESOLUTION, sigma_from_ksize
+
+
+class TestGaussianKernel:
+    def test_normalized(self):
+        for k in (3, 5, 7, 9, 11, 13):
+            assert gaussian_kernel1d(k).sum() == pytest.approx(1.0)
+
+    def test_symmetric(self):
+        k = gaussian_kernel1d(7)
+        np.testing.assert_allclose(k, k[::-1])
+
+    def test_peak_at_center(self):
+        k = gaussian_kernel1d(9)
+        assert np.argmax(k) == 4
+
+    def test_even_ksize_rejected(self):
+        with pytest.raises(ValueError):
+            gaussian_kernel1d(4)
+
+    def test_opencv_sigma_rule(self):
+        # OpenCV: sigma = 0.3*((k-1)*0.5 - 1) + 0.8; for k=3 → 0.8
+        assert sigma_from_ksize(3) == pytest.approx(0.8)
+        assert sigma_from_ksize(5) == pytest.approx(1.1)
+
+    def test_paper_resolution_table_complete(self):
+        # §III-A: kernel [3,3,5,7,9,11,13] for [512 ... 65536]
+        assert list(KSIZE_FOR_RESOLUTION.values()) == [3, 3, 5, 7, 9, 11, 13]
+
+
+class TestGaussianBlur:
+    def test_preserves_mean(self):
+        rng = np.random.default_rng(0)
+        img = rng.random((32, 32))
+        out = gaussian_blur(img, 5)
+        assert out.mean() == pytest.approx(img.mean(), rel=1e-2)
+
+    def test_reduces_variance(self):
+        rng = np.random.default_rng(0)
+        img = rng.random((64, 64))
+        assert gaussian_blur(img, 7).var() < img.var()
+
+    def test_constant_image_unchanged(self):
+        img = np.full((16, 16), 3.5)
+        np.testing.assert_allclose(gaussian_blur(img, 5), img)
+
+    def test_multichannel(self):
+        img = np.random.default_rng(0).random((16, 16, 3))
+        assert gaussian_blur(img, 3).shape == (16, 16, 3)
+
+    def test_larger_kernel_smooths_more(self):
+        rng = np.random.default_rng(1)
+        img = rng.random((64, 64))
+        assert gaussian_blur(img, 13).var() < gaussian_blur(img, 3).var()
+
+    def test_rejects_4d(self):
+        with pytest.raises(ValueError):
+            gaussian_blur(np.zeros((2, 2, 2, 2)), 3)
+
+
+class TestSobel:
+    def test_vertical_edge_gives_horizontal_gradient(self):
+        img = np.zeros((16, 16))
+        img[:, 8:] = 1.0
+        gx, gy, mag, _ = sobel_gradients(img)
+        # Response concentrated at the column boundary, along gx.
+        assert np.abs(gx[8, 7:9]).max() > 0
+        assert np.abs(gy[4:12, :]).max() == pytest.approx(0.0, abs=1e-12)
+
+    def test_flat_image_no_response(self):
+        _, _, mag, _ = sobel_gradients(np.ones((8, 8)))
+        np.testing.assert_allclose(mag, 0.0, atol=1e-12)
+
+    def test_rejects_color(self):
+        with pytest.raises(ValueError):
+            sobel_gradients(np.zeros((4, 4, 3)))
+
+
+class TestNormalize:
+    def test_range(self):
+        x = np.array([[-5.0, 10.0], [0.0, 2.5]])
+        n = normalize01(x)
+        assert n.min() == 0.0 and n.max() == 1.0
+
+    def test_constant_maps_to_zero(self):
+        np.testing.assert_array_equal(normalize01(np.full((3, 3), 7.0)), 0.0)
+
+    def test_grayscale_luma(self):
+        rgb = np.zeros((2, 2, 3))
+        rgb[..., 1] = 1.0  # pure green
+        np.testing.assert_allclose(to_grayscale(rgb), 0.587)
+
+    def test_grayscale_passthrough(self):
+        x = np.random.default_rng(0).random((4, 4))
+        np.testing.assert_array_equal(to_grayscale(x), x)
+
+    def test_grayscale_bad_shape(self):
+        with pytest.raises(ValueError):
+            to_grayscale(np.zeros((4, 4, 5)))

@@ -1,0 +1,129 @@
+"""Tests for resize kernels used by APF patch downscaling."""
+
+import numpy as np
+import pytest
+
+from repro.imaging import (downscale_pow2, resize_area, resize_bilinear,
+                           resize_nearest)
+
+
+class TestDownscalePow2:
+    def test_factor1_is_copy(self):
+        x = np.random.default_rng(0).random((8, 8))
+        y = downscale_pow2(x, 1)
+        np.testing.assert_array_equal(x, y)
+        y[0, 0] = 99  # must not alias
+        assert x[0, 0] != 99
+
+    def test_exact_block_mean(self):
+        x = np.arange(16, dtype=float).reshape(4, 4)
+        y = downscale_pow2(x, 2)
+        assert y.shape == (2, 2)
+        assert y[0, 0] == pytest.approx((0 + 1 + 4 + 5) / 4)
+
+    def test_preserves_global_mean(self):
+        x = np.random.default_rng(0).random((32, 32))
+        assert downscale_pow2(x, 4).mean() == pytest.approx(x.mean())
+
+    def test_channels(self):
+        x = np.random.default_rng(0).random((8, 8, 3))
+        assert downscale_pow2(x, 2).shape == (4, 4, 3)
+
+    def test_indivisible_raises(self):
+        with pytest.raises(ValueError):
+            downscale_pow2(np.zeros((6, 6)), 4)
+
+
+class TestResizeArea:
+    def test_matches_pow2_path(self):
+        x = np.random.default_rng(0).random((16, 16))
+        np.testing.assert_allclose(resize_area(x, 4, 4), downscale_pow2(x, 4))
+
+    def test_nonuniform_shrink(self):
+        x = np.ones((12, 9))
+        y = resize_area(x, 4, 3)
+        assert y.shape == (4, 3)
+        np.testing.assert_allclose(y, 1.0)
+
+    def test_upscale_falls_back_to_bilinear(self):
+        x = np.ones((4, 4))
+        y = resize_area(x, 8, 8)
+        assert y.shape == (8, 8)
+        np.testing.assert_allclose(y, 1.0)
+
+
+class TestResizeBilinear:
+    def test_identity(self):
+        x = np.random.default_rng(0).random((8, 8))
+        np.testing.assert_allclose(resize_bilinear(x, 8, 8), x, atol=1e-12)
+
+    def test_constant_preserved(self):
+        np.testing.assert_allclose(resize_bilinear(np.full((5, 7), 2.5), 10, 14), 2.5)
+
+    def test_linear_ramp_preserved(self):
+        # Bilinear must reproduce affine functions away from borders.
+        x = np.tile(np.arange(16, dtype=float), (16, 1))
+        y = resize_bilinear(x, 8, 8)
+        diffs = np.diff(y[4])
+        assert np.allclose(diffs, diffs[0], atol=1e-9)
+
+    def test_output_range_bounded(self):
+        x = np.random.default_rng(0).random((9, 9))
+        y = resize_bilinear(x, 5, 13)
+        assert y.min() >= x.min() - 1e-12 and y.max() <= x.max() + 1e-12
+
+
+class TestResizeNearest:
+    def test_values_subset_of_input(self):
+        x = np.random.default_rng(0).integers(0, 5, size=(9, 9))
+        y = resize_nearest(x, 4, 4)
+        assert set(np.unique(y)).issubset(set(np.unique(x)))
+
+    def test_preserves_dtype(self):
+        x = np.zeros((8, 8), dtype=np.int32)
+        assert resize_nearest(x, 4, 4).dtype == np.int32
+
+    def test_upscale_repeats(self):
+        x = np.array([[1, 2], [3, 4]])
+        y = resize_nearest(x, 4, 4)
+        np.testing.assert_array_equal(y[:2, :2], 1)
+
+
+class TestPadToPow2:
+    def test_pads_to_next_square(self):
+        from repro.imaging import pad_to_pow2
+        padded, (h, w) = pad_to_pow2(np.ones((48, 70)))
+        assert padded.shape == (128, 128)
+        assert (h, w) == (48, 70)
+
+    def test_pow2_square_untouched_shape(self):
+        from repro.imaging import pad_to_pow2
+        padded, _ = pad_to_pow2(np.ones((64, 64)))
+        assert padded.shape == (64, 64)
+
+    def test_channels_preserved(self):
+        from repro.imaging import pad_to_pow2
+        padded, _ = pad_to_pow2(np.zeros((10, 10, 3)))
+        assert padded.shape == (16, 16, 3)
+
+    def test_edge_mode_extends_border(self):
+        from repro.imaging import pad_to_pow2
+        img = np.arange(9, dtype=float).reshape(3, 3)
+        padded, _ = pad_to_pow2(img)
+        assert padded.shape == (4, 4)
+        assert padded[3, 3] == img[2, 2]
+
+    def test_crop_back_roundtrip(self):
+        from repro.imaging import pad_to_pow2
+        from repro.patching import AdaptivePatcher
+        rng = np.random.default_rng(0)
+        img = rng.random((40, 56))
+        padded, (h, w) = pad_to_pow2(img)
+        seq = AdaptivePatcher(patch_size=4, split_value=2.0)(padded)
+        rec = seq.scatter_to_image(seq.patches)[0][:h, :w]
+        assert rec.shape == (40, 56)
+
+    def test_rejects_4d(self):
+        from repro.imaging import pad_to_pow2
+        with pytest.raises(ValueError):
+            pad_to_pow2(np.zeros((2, 2, 2, 2)))

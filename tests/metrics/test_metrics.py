@@ -1,0 +1,108 @@
+"""Tests for dice / IoU / accuracy metrics."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import (dice_score, iou_score, per_class_dice,
+                           pixel_accuracy, top1_accuracy)
+
+
+class TestDice:
+    def test_perfect_match(self):
+        m = np.zeros((8, 8), bool)
+        m[2:5, 2:5] = True
+        assert dice_score(m, m, threshold=None) == 100.0
+
+    def test_no_overlap(self):
+        a = np.zeros((8, 8), bool)
+        b = np.zeros((8, 8), bool)
+        a[0, 0] = True
+        b[7, 7] = True
+        assert dice_score(a, b, threshold=None) == 0.0
+
+    def test_both_empty_is_perfect(self):
+        assert dice_score(np.zeros((4, 4)), np.zeros((4, 4))) == 100.0
+
+    def test_half_overlap_value(self):
+        # |X|=2, |Y|=2, |X∩Y|=1 → dice = 2*1/4 = 50%.
+        a = np.array([1, 1, 0, 0], bool)
+        b = np.array([1, 0, 1, 0], bool)
+        assert dice_score(a, b, threshold=None) == pytest.approx(50.0)
+
+    def test_probability_threshold(self):
+        p = np.array([0.9, 0.2])
+        t = np.array([1.0, 0.0])
+        assert dice_score(p, t, threshold=0.5) == 100.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            dice_score(np.zeros(3), np.zeros(4))
+
+    def test_symmetric(self):
+        rng = np.random.default_rng(0)
+        a, b = rng.random(50) > 0.5, rng.random(50) > 0.5
+        assert dice_score(a, b, None) == dice_score(b, a, None)
+
+
+class TestPerClassDice:
+    def test_perfect_all_classes(self):
+        m = np.arange(16).reshape(4, 4) % 4
+        d = per_class_dice(m, m, num_classes=4)
+        np.testing.assert_allclose(d, 100.0)
+
+    def test_absent_class_is_nan(self):
+        t = np.zeros((4, 4), int)
+        p = np.zeros((4, 4), int)
+        d = per_class_dice(p, t, num_classes=3)
+        assert np.isnan(d).all()  # classes 1, 2 absent from both
+
+    def test_background_skipped(self):
+        t = np.zeros((4, 4), int)
+        t[0, 0] = 1
+        p = t.copy()
+        d = per_class_dice(p, t, num_classes=2)
+        assert d.shape == (1,)
+        assert d[0] == 100.0
+
+    def test_btcv_convention_13_values(self):
+        t = np.random.default_rng(0).integers(0, 14, (32, 32))
+        d = per_class_dice(t, t, num_classes=14)
+        assert d.shape == (13,)
+        assert np.nanmean(d) == 100.0
+
+
+class TestIoU:
+    def test_relation_to_dice(self):
+        # dice = 2*iou / (1 + iou)
+        rng = np.random.default_rng(1)
+        a, b = rng.random(100) > 0.4, rng.random(100) > 0.6
+        iou = iou_score(a, b, None) / 100
+        dice = dice_score(a, b, None) / 100
+        assert dice == pytest.approx(2 * iou / (1 + iou), rel=1e-9)
+
+    def test_empty_perfect(self):
+        assert iou_score(np.zeros(4), np.zeros(4)) == 100.0
+
+
+class TestPixelAccuracy:
+    def test_values(self):
+        p = np.array([[0, 1], [2, 3]])
+        t = np.array([[0, 1], [2, 0]])
+        assert pixel_accuracy(p, t) == 75.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            pixel_accuracy(np.zeros(3), np.zeros(4))
+
+
+class TestTop1:
+    def test_basic(self):
+        assert top1_accuracy([0, 1, 2, 3], [0, 1, 2, 0]) == 75.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            top1_accuracy([], [])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            top1_accuracy([0, 1], [0])

@@ -1,0 +1,85 @@
+"""Tests for the differentiable token->grid scatter."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.models import scatter_tokens_to_grid, token_index_map
+from repro.patching import AdaptivePatcher, UniformPatcher
+
+
+def blob(z=32, seed=0):
+    rng = np.random.default_rng(seed)
+    img = np.full((z, z), 0.3)
+    img[8:18, 10:22] = 0.9
+    return img
+
+
+class TestTokenIndexMap:
+    def test_uniform_is_row_major_grid(self):
+        seq = UniformPatcher(4)(np.zeros((16, 16)))
+        idx, mask = token_index_map(seq, 4)
+        np.testing.assert_array_equal(idx, np.arange(16).reshape(4, 4))
+        np.testing.assert_array_equal(mask, 1.0)
+
+    def test_adaptive_footprints(self):
+        seq = AdaptivePatcher(patch_size=4, split_value=2.0)(blob())
+        idx, mask = token_index_map(seq, 4)
+        assert mask.min() == 1.0  # no drops → full coverage
+        # Every valid token appears; every cell maps to the leaf covering it.
+        for i in np.flatnonzero(seq.valid):
+            y, x, s = seq.ys[i] // 4, seq.xs[i] // 4, max(seq.sizes[i] // 4, 1)
+            assert (idx[y:y + s, x:x + s] == i).all()
+
+    def test_dropped_tokens_leave_holes(self):
+        p = AdaptivePatcher(patch_size=2, split_value=0.5, target_length=8)
+        seq = p(blob())
+        assert seq.n_dropped > 0
+        _, mask = token_index_map(seq, 2)
+        assert mask.min() == 0.0
+
+    def test_indivisible_cell_raises(self):
+        seq = UniformPatcher(4)(np.zeros((16, 16)))
+        with pytest.raises(ValueError):
+            token_index_map(seq, 3)
+
+
+class TestScatter:
+    def test_uniform_scatter_is_reshape(self):
+        seq = UniformPatcher(4)(np.zeros((16, 16)))
+        feats = nn.Tensor(np.arange(16 * 3, dtype=np.float64).reshape(1, 16, 3),
+                          requires_grad=True)
+        grid = scatter_tokens_to_grid(feats, [seq], 4)
+        assert grid.shape == (1, 3, 4, 4)
+        np.testing.assert_array_equal(grid.data[0, 0],
+                                      feats.data[0, :, 0].reshape(4, 4))
+
+    def test_gradient_routes_by_footprint_area(self):
+        seq = AdaptivePatcher(patch_size=4, split_value=2.0)(blob())
+        n = len(seq)
+        feats = nn.Tensor(np.zeros((1, n, 2)), requires_grad=True)
+        grid = scatter_tokens_to_grid(feats, [seq], 4)
+        grid.sum().backward()
+        # Each token's gradient = number of grid cells it covers.
+        expected = (np.maximum(seq.sizes // 4, 1) ** 2).astype(float)
+        np.testing.assert_allclose(feats.grad[0, :, 0], expected)
+
+    def test_batch_mismatch_raises(self):
+        seq = UniformPatcher(4)(np.zeros((16, 16)))
+        feats = nn.Tensor(np.zeros((2, 16, 3)))
+        with pytest.raises(ValueError):
+            scatter_tokens_to_grid(feats, [seq], 4)
+
+    def test_length_mismatch_raises(self):
+        seq = UniformPatcher(4)(np.zeros((16, 16)))
+        feats = nn.Tensor(np.zeros((1, 15, 3)))
+        with pytest.raises(ValueError):
+            scatter_tokens_to_grid(feats, [seq], 4)
+
+    def test_holes_get_zero_and_no_grad(self):
+        p = AdaptivePatcher(patch_size=2, split_value=0.5, target_length=6)
+        seq = p(blob())
+        feats = nn.Tensor(np.ones((1, 6, 1)), requires_grad=True)
+        grid = scatter_tokens_to_grid(feats, [seq], 2)
+        _, mask = token_index_map(seq, 2)
+        np.testing.assert_array_equal(grid.data[0, 0][mask == 0], 0.0)

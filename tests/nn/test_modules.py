@@ -1,0 +1,251 @@
+"""Tests for the module system: registration, state dicts, shapes, and modes."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+
+
+class TestModuleSystem:
+    def test_parameter_discovery_nested(self):
+        m = nn.Sequential(nn.Linear(4, 8), nn.Sequential(nn.Linear(8, 2)))
+        names = [n for n, _ in m.named_parameters()]
+        assert len(names) == 4  # 2 weights + 2 biases
+        assert any("layers.0.weight" in n for n in names)
+
+    def test_parameters_deduplicated(self):
+        lin = nn.Linear(3, 3)
+
+        class Shared(nn.Module):
+            def __init__(self):
+                super().__init__()
+                self.a = lin
+                self.b = lin
+
+        assert len(Shared().parameters()) == 2
+
+    def test_modulelist_registration(self):
+        ml = nn.ModuleList([nn.Linear(2, 2) for _ in range(3)])
+        assert len(list(ml.named_parameters())) == 6
+        assert len(ml) == 3
+
+    def test_train_eval_propagates(self):
+        m = nn.Sequential(nn.Linear(2, 2), nn.Dropout(0.5))
+        m.eval()
+        assert all(not sub.training for sub in m.modules())
+        m.train()
+        assert all(sub.training for sub in m.modules())
+
+    def test_state_dict_roundtrip(self):
+        rng = np.random.default_rng(0)
+        m1 = nn.Linear(4, 4, rng=np.random.default_rng(1))
+        m2 = nn.Linear(4, 4, rng=np.random.default_rng(2))
+        assert not np.allclose(m1.weight.data, m2.weight.data)
+        m2.load_state_dict(m1.state_dict())
+        np.testing.assert_array_equal(m1.weight.data, m2.weight.data)
+
+    def test_state_dict_missing_key_raises(self):
+        m = nn.Linear(2, 2)
+        sd = m.state_dict()
+        del sd["bias"]
+        with pytest.raises(KeyError):
+            m.load_state_dict(sd)
+
+    def test_state_dict_shape_mismatch_raises(self):
+        m = nn.Linear(2, 2)
+        sd = m.state_dict()
+        sd["weight"] = np.zeros((3, 3))
+        with pytest.raises(ValueError):
+            m.load_state_dict(sd)
+
+    def test_num_parameters(self):
+        m = nn.Linear(10, 5)
+        assert m.num_parameters() == 10 * 5 + 5
+
+    def test_zero_grad(self):
+        m = nn.Linear(3, 1, dtype=np.float64)
+        x = nn.Tensor(np.ones((2, 3)))
+        m(x).sum().backward()
+        assert m.weight.grad is not None
+        m.zero_grad()
+        assert m.weight.grad is None
+
+
+class TestShapes:
+    def test_linear_shapes(self):
+        m = nn.Linear(7, 3)
+        assert m(nn.Tensor(np.zeros((2, 5, 7), dtype=np.float32))).shape == (2, 5, 3)
+
+    def test_conv_output_size(self):
+        m = nn.Conv2d(3, 8, kernel=3, stride=1, padding=1)
+        assert m(nn.Tensor(np.zeros((1, 3, 16, 16), dtype=np.float32))).shape == (1, 8, 16, 16)
+
+    def test_conv_stride2(self):
+        m = nn.Conv2d(3, 8, kernel=2, stride=2)
+        assert m(nn.Tensor(np.zeros((1, 3, 16, 16), dtype=np.float32))).shape == (1, 8, 8, 8)
+
+    def test_conv_channel_mismatch_raises(self):
+        m = nn.Conv2d(3, 8, kernel=3)
+        with pytest.raises(ValueError):
+            m(nn.Tensor(np.zeros((1, 4, 8, 8), dtype=np.float32)))
+
+    def test_convtranspose_doubles(self):
+        m = nn.ConvTranspose2d(8, 4, kernel=2, stride=2)
+        assert m(nn.Tensor(np.zeros((1, 8, 5, 5), dtype=np.float32))).shape == (1, 4, 10, 10)
+
+    def test_convtranspose_inverts_conv_geometry(self):
+        x = nn.Tensor(np.zeros((1, 4, 16, 16), dtype=np.float32))
+        down = nn.Conv2d(4, 6, kernel=2, stride=2)(x)
+        up = nn.ConvTranspose2d(6, 4, kernel=2, stride=2)(down)
+        assert up.shape == x.shape
+
+    def test_mha_preserves_shape(self):
+        m = nn.MultiHeadAttention(16, 4)
+        assert m(nn.Tensor(np.zeros((2, 9, 16), dtype=np.float32))).shape == (2, 9, 16)
+
+    def test_mha_dim_heads_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            nn.MultiHeadAttention(10, 3)
+
+    def test_transformer_encoder_hidden_states(self):
+        enc = nn.TransformerEncoder(8, depth=4, heads=2)
+        x = nn.Tensor(np.zeros((1, 5, 8), dtype=np.float32))
+        out, hidden = enc(x, return_hidden=(2, 4))
+        assert out.shape == (1, 5, 8)
+        assert len(hidden) == 2
+
+    def test_groupnorm_validates_divisibility(self):
+        with pytest.raises(ValueError):
+            nn.GroupNorm(3, 8)
+
+    def test_identity(self):
+        x = nn.Tensor(np.ones(3))
+        assert nn.Identity()(x) is x
+
+
+class TestBehaviour:
+    def test_dropout_eval_is_identity(self):
+        d = nn.Dropout(0.9)
+        d.eval()
+        x = nn.Tensor(np.ones((4, 4)))
+        np.testing.assert_array_equal(d(x).data, x.data)
+
+    def test_dropout_train_scales(self):
+        d = nn.Dropout(0.5, rng=np.random.default_rng(0))
+        x = nn.Tensor(np.ones((100, 100)))
+        y = d(x).data
+        # Inverted dropout: surviving entries are 1/keep = 2.0.
+        assert set(np.unique(y)).issubset({0.0, 2.0})
+        assert abs(y.mean() - 1.0) < 0.05
+
+    def test_layernorm_normalizes(self):
+        ln = nn.LayerNorm(64)
+        x = nn.Tensor(np.random.default_rng(0).normal(5.0, 3.0, size=(4, 64)).astype(np.float32))
+        y = ln(x).data
+        np.testing.assert_allclose(y.mean(axis=-1), 0, atol=1e-4)
+        np.testing.assert_allclose(y.std(axis=-1), 1, atol=1e-2)
+
+    def test_batchnorm_running_stats_update(self):
+        bn = nn.BatchNorm2d(2)
+        x = nn.Tensor(np.random.default_rng(0).normal(3.0, 2.0, size=(8, 2, 4, 4)).astype(np.float32))
+        bn(x)
+        assert not np.allclose(bn.running_mean, 0)
+        bn.eval()
+        y1 = bn(x).data
+        y2 = bn(x).data
+        np.testing.assert_array_equal(y1, y2)  # eval mode is deterministic
+
+    def test_mha_attention_rows_sum_to_one(self):
+        m = nn.MultiHeadAttention(8, 2)
+        x = nn.Tensor(np.random.default_rng(0).normal(size=(1, 6, 8)).astype(np.float32))
+        attn = m.attention_map(x)
+        assert attn.shape == (1, 2, 6, 6)
+        np.testing.assert_allclose(attn.sum(axis=-1), 1.0, rtol=1e-5)
+
+    def test_sequential_iteration(self):
+        s = nn.Sequential(nn.Identity(), nn.Identity())
+        assert len(s) == 2
+        assert len(list(iter(s))) == 2
+
+
+class TestOptim:
+    def _quadratic_problem(self, opt_cls, **kw):
+        # Minimize ||Wx - y||^2 for fixed x, y.
+        rng = np.random.default_rng(0)
+        w = nn.Parameter(rng.normal(size=(3, 3)))
+        x = nn.Tensor(rng.normal(size=(3,)))
+        y = nn.Tensor(rng.normal(size=(3,)))
+        opt = opt_cls([w], **kw)
+        losses = []
+        for _ in range(200):
+            opt.zero_grad()
+            diff = w @ x - y
+            loss = (diff * diff).sum()
+            loss.backward()
+            opt.step()
+            losses.append(float(loss.data))
+        return losses
+
+    def test_sgd_converges(self):
+        losses = self._quadratic_problem(nn.SGD, lr=0.05)
+        assert losses[-1] < 1e-4 * max(losses[0], 1.0)
+
+    def test_sgd_momentum_converges(self):
+        losses = self._quadratic_problem(nn.SGD, lr=0.02, momentum=0.9)
+        assert losses[-1] < 1e-4
+
+    def test_adam_converges(self):
+        losses = self._quadratic_problem(nn.Adam, lr=0.1)
+        assert losses[-1] < 1e-4
+
+    def test_adamw_converges(self):
+        losses = self._quadratic_problem(nn.AdamW, lr=0.1)
+        assert losses[-1] < 1e-4
+
+    def test_adamw_decay_shrinks_weights(self):
+        w = nn.Parameter(np.ones((4, 4)))
+        opt = nn.AdamW([w], lr=0.01, weight_decay=0.5)
+        for _ in range(10):
+            opt.zero_grad()
+            (w * 0.0).sum().backward()
+            opt.step()
+        assert np.abs(w.data).max() < 1.0
+
+    def test_empty_params_raises(self):
+        with pytest.raises(ValueError):
+            nn.SGD([], lr=0.1)
+
+    def test_multistep_schedule_matches_paper(self):
+        w = nn.Parameter(np.ones(1))
+        opt = nn.AdamW([w], lr=1e-4)
+        sched = nn.MultiStepLR(opt, milestones=[500, 750, 875], gamma=0.1)
+        lrs = {}
+        for epoch in range(1, 1001):
+            sched.step()
+            lrs[epoch] = opt.lr
+        assert lrs[499] == pytest.approx(1e-4)
+        assert lrs[500] == pytest.approx(1e-5)
+        assert lrs[750] == pytest.approx(1e-6)
+        assert lrs[875] == pytest.approx(1e-7)
+
+    def test_cosine_schedule_endpoints(self):
+        w = nn.Parameter(np.ones(1))
+        opt = nn.SGD([w], lr=1.0)
+        sched = nn.CosineLR(opt, total_epochs=100, min_lr=0.1)
+        for _ in range(100):
+            sched.step()
+        assert opt.lr == pytest.approx(0.1, abs=1e-6)
+
+    def test_cosine_warmup_ramps(self):
+        w = nn.Parameter(np.ones(1))
+        opt = nn.SGD([w], lr=1.0)
+        sched = nn.CosineLR(opt, total_epochs=100, warmup=10)
+        sched.step()
+        assert opt.lr == pytest.approx(0.1)
+
+    def test_clip_grad_norm(self):
+        w = nn.Parameter(np.ones(4))
+        w.grad = np.full(4, 10.0)
+        pre = nn.clip_grad_norm([w], max_norm=1.0)
+        assert pre == pytest.approx(20.0)
+        assert np.linalg.norm(w.grad) == pytest.approx(1.0)

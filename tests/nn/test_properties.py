@@ -1,0 +1,176 @@
+"""Hypothesis property tests for the autograd engine.
+
+Algebraic identities that must hold for arbitrary well-conditioned inputs:
+values match NumPy references, gradients obey linearity/symmetry, softmax is
+shift-invariant, layer norm is affine-invariant in the right ways.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import nn
+from repro.nn import functional as F
+
+settings.register_profile("props", max_examples=40, deadline=None)
+settings.load_profile("props")
+
+
+def arrays(shape_strategy=st.tuples(st.integers(1, 4), st.integers(1, 5))):
+    return shape_strategy.flatmap(
+        lambda shape: st.integers(0, 10 ** 6).map(
+            lambda seed: np.random.default_rng(seed).normal(
+                size=shape).astype(np.float64)))
+
+
+class TestValueIdentities:
+    @given(arrays())
+    def test_forward_matches_numpy(self, a):
+        t = nn.Tensor(a)
+        np.testing.assert_allclose((t * 2 + 1).data, a * 2 + 1)
+        np.testing.assert_allclose(t.exp().data, np.exp(a))
+        np.testing.assert_allclose(t.tanh().data, np.tanh(a))
+        np.testing.assert_allclose(t.sum(axis=1).data, a.sum(axis=1))
+
+    @given(arrays())
+    def test_sigmoid_symmetry(self, a):
+        # sigmoid(-x) == 1 - sigmoid(x)
+        t = nn.Tensor(a)
+        np.testing.assert_allclose((-t).sigmoid().data,
+                                   1.0 - t.sigmoid().data, atol=1e-12)
+
+    @given(arrays())
+    def test_softmax_shift_invariance(self, a):
+        t = nn.Tensor(a)
+        shifted = nn.Tensor(a + 100.0)
+        np.testing.assert_allclose(F.softmax(t, axis=-1).data,
+                                   F.softmax(shifted, axis=-1).data,
+                                   atol=1e-9)
+
+    @given(arrays())
+    def test_softmax_rows_are_distributions(self, a):
+        s = F.softmax(nn.Tensor(a), axis=-1).data
+        assert (s >= 0).all()
+        np.testing.assert_allclose(s.sum(axis=-1), 1.0, rtol=1e-9)
+
+    @given(arrays())
+    def test_log_softmax_consistent_with_softmax(self, a):
+        t = nn.Tensor(a)
+        np.testing.assert_allclose(F.log_softmax(t, axis=-1).data,
+                                   np.log(F.softmax(t, axis=-1).data),
+                                   atol=1e-9)
+
+    @given(arrays())
+    def test_relu_plus_negrelu_is_identity(self, a):
+        t = nn.Tensor(a)
+        np.testing.assert_allclose((t.relu() - (-t).relu()).data, a,
+                                   atol=1e-12)
+
+
+class TestGradientIdentities:
+    @given(arrays())
+    def test_grad_of_sum_is_ones(self, a):
+        t = nn.Tensor(a, requires_grad=True)
+        t.sum().backward()
+        np.testing.assert_array_equal(t.grad, np.ones_like(a))
+
+    @given(arrays())
+    def test_grad_linearity(self, a):
+        # d/dx sum(3x) == 3 * d/dx sum(x)
+        t1 = nn.Tensor(a.copy(), requires_grad=True)
+        (t1 * 3).sum().backward()
+        np.testing.assert_allclose(t1.grad, 3.0)
+
+    @given(arrays())
+    def test_grad_of_product_rule(self, a):
+        # y = x*x → dy/dx = 2x
+        t = nn.Tensor(a, requires_grad=True)
+        (t * t).sum().backward()
+        np.testing.assert_allclose(t.grad, 2 * a, rtol=1e-12)
+
+    @given(arrays())
+    def test_backward_twice_via_fresh_graph(self, a):
+        # Gradients accumulate across separate graphs.
+        t = nn.Tensor(a, requires_grad=True)
+        t.sum().backward()
+        (t * 0 + t).sum().backward()
+        np.testing.assert_allclose(t.grad, 2.0)
+
+    @given(st.integers(0, 10 ** 6))
+    def test_matmul_trace_symmetry(self, seed):
+        # d/dA tr(A B) = B^T
+        rng = np.random.default_rng(seed)
+        a = nn.Tensor(rng.normal(size=(4, 4)), requires_grad=True)
+        b = rng.normal(size=(4, 4))
+        prod = a @ nn.Tensor(b)
+        # trace = sum of diagonal
+        tr = prod[np.arange(4), np.arange(4)].sum()
+        tr.backward()
+        np.testing.assert_allclose(a.grad, b.T, rtol=1e-10)
+
+
+class TestLayerNormProperties:
+    @given(st.integers(0, 10 ** 6), st.integers(2, 6), st.integers(4, 16))
+    def test_output_standardized(self, seed, n, d):
+        rng = np.random.default_rng(seed)
+        x = nn.Tensor(rng.normal(3.0, 5.0, size=(n, d)))
+        w = nn.Tensor(np.ones(d))
+        b = nn.Tensor(np.zeros(d))
+        y = F.layer_norm(x, w, b).data
+        np.testing.assert_allclose(y.mean(axis=-1), 0.0, atol=1e-7)
+        np.testing.assert_allclose(y.var(axis=-1), 1.0, atol=1e-2)
+
+    @given(st.integers(0, 10 ** 6))
+    def test_input_shift_invariance(self, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(3, 8))
+        w = nn.Tensor(np.ones(8))
+        b = nn.Tensor(np.zeros(8))
+        y1 = F.layer_norm(nn.Tensor(x), w, b).data
+        y2 = F.layer_norm(nn.Tensor(x + 42.0), w, b).data
+        np.testing.assert_allclose(y1, y2, atol=1e-7)
+
+
+class TestLossProperties:
+    @given(st.integers(0, 10 ** 6))
+    def test_dice_loss_bounds(self, seed):
+        rng = np.random.default_rng(seed)
+        logits = nn.Tensor(rng.normal(size=20))
+        target = (rng.random(20) > 0.5).astype(float)
+        v = float(nn.dice_loss(logits, target).data)
+        assert -1e-9 <= v <= 1.0 + 1e-9
+
+    @given(st.integers(0, 10 ** 6))
+    def test_bce_nonnegative(self, seed):
+        rng = np.random.default_rng(seed)
+        logits = nn.Tensor(rng.normal(size=20))
+        target = (rng.random(20) > 0.5).astype(float)
+        assert float(nn.bce_loss(logits, target).data) >= 0.0
+
+    @given(st.integers(0, 10 ** 6))
+    def test_cross_entropy_lower_bounded_by_zero(self, seed):
+        rng = np.random.default_rng(seed)
+        logits = nn.Tensor(rng.normal(size=(5, 4)))
+        labels = rng.integers(0, 4, size=5)
+        assert float(nn.cross_entropy(logits, labels).data) >= 0.0
+
+
+class TestConvProperties:
+    @given(st.integers(0, 10 ** 5))
+    def test_conv_linearity_in_input(self, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(1, 2, 6, 6))
+        w = nn.Tensor(rng.normal(size=(3, 2, 3, 3)))
+        y1 = F.conv2d(nn.Tensor(x), w, None, padding=1).data
+        y2 = F.conv2d(nn.Tensor(2 * x), w, None, padding=1).data
+        np.testing.assert_allclose(y2, 2 * y1, rtol=1e-10)
+
+    @given(st.integers(0, 10 ** 5))
+    def test_conv_of_zeros_is_bias(self, seed):
+        rng = np.random.default_rng(seed)
+        w = nn.Tensor(rng.normal(size=(3, 2, 3, 3)))
+        b = nn.Tensor(rng.normal(size=3))
+        y = F.conv2d(nn.Tensor(np.zeros((1, 2, 5, 5))), w, b, padding=1).data
+        for c in range(3):
+            np.testing.assert_allclose(y[0, c], b.data[c], atol=1e-12)

@@ -1,0 +1,265 @@
+"""Unit tests for the autograd core: construction, arithmetic, broadcasting,
+reductions, shape ops, and the backward pass bookkeeping."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, concat, no_grad, ones, stack, tensor, zeros
+
+
+class TestConstruction:
+    def test_from_list(self):
+        t = Tensor([1.0, 2.0, 3.0])
+        assert t.shape == (3,)
+        assert t.dtype == np.float64 or t.dtype == np.float32
+
+    def test_int_input_promoted_to_float(self):
+        t = Tensor(np.arange(4))
+        assert t.dtype == np.float32
+
+    def test_float64_preserved(self):
+        t = Tensor(np.zeros(3, dtype=np.float64))
+        assert t.dtype == np.float64
+
+    def test_requires_grad_flag(self):
+        assert Tensor([1.0], requires_grad=True).requires_grad
+        assert not Tensor([1.0]).requires_grad
+
+    def test_factories(self):
+        assert zeros((2, 3)).shape == (2, 3)
+        assert float(ones((2,)).sum().data) == 2.0
+        assert tensor([1.0]).shape == (1,)
+
+    def test_item_and_len(self):
+        assert Tensor([[3.5]]).item() == 3.5
+        assert len(Tensor(np.zeros((4, 2)))) == 4
+
+    def test_detach_breaks_graph(self):
+        x = Tensor([2.0], requires_grad=True)
+        y = (x * 3).detach()
+        assert not y.requires_grad
+
+
+class TestArithmetic:
+    def test_add_backward(self):
+        a = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        b = Tensor(np.array([3.0, 4.0]), requires_grad=True)
+        (a + b).sum().backward()
+        np.testing.assert_allclose(a.grad, [1, 1])
+        np.testing.assert_allclose(b.grad, [1, 1])
+
+    def test_broadcast_add_backward(self):
+        a = Tensor(np.ones((2, 3)), requires_grad=True)
+        b = Tensor(np.ones((3,)), requires_grad=True)
+        (a + b).sum().backward()
+        np.testing.assert_allclose(b.grad, [2, 2, 2])
+
+    def test_mul_backward(self):
+        a = Tensor(np.array([2.0, 3.0]), requires_grad=True)
+        b = Tensor(np.array([5.0, 7.0]), requires_grad=True)
+        (a * b).sum().backward()
+        np.testing.assert_allclose(a.grad, [5, 7])
+        np.testing.assert_allclose(b.grad, [2, 3])
+
+    def test_div_backward(self):
+        a = Tensor(np.array([6.0]), requires_grad=True)
+        b = Tensor(np.array([2.0]), requires_grad=True)
+        (a / b).backward()
+        np.testing.assert_allclose(a.grad, [0.5])
+        np.testing.assert_allclose(b.grad, [-1.5])
+
+    def test_scalar_ops(self):
+        a = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        y = 2.0 * a + 1.0 - a / 2.0
+        y.sum().backward()
+        np.testing.assert_allclose(a.grad, [1.5, 1.5])
+
+    def test_rsub_rdiv(self):
+        a = Tensor(np.array([2.0]), requires_grad=True)
+        (10.0 - a).backward()
+        np.testing.assert_allclose(a.grad, [-1.0])
+        a.grad = None
+        (10.0 / a).backward()
+        np.testing.assert_allclose(a.grad, [-2.5])
+
+    def test_pow_backward(self):
+        a = Tensor(np.array([3.0]), requires_grad=True)
+        (a ** 2).backward()
+        np.testing.assert_allclose(a.grad, [6.0])
+
+    def test_pow_rejects_tensor_exponent(self):
+        a = Tensor(np.array([3.0]))
+        with pytest.raises(TypeError):
+            _ = a ** Tensor([2.0])
+
+    def test_neg(self):
+        a = Tensor(np.array([1.0, -2.0]), requires_grad=True)
+        (-a).sum().backward()
+        np.testing.assert_allclose(a.grad, [-1, -1])
+
+    def test_grad_accumulates_on_reuse(self):
+        a = Tensor(np.array([2.0]), requires_grad=True)
+        (a * a).backward()  # d/da a^2 = 2a = 4
+        np.testing.assert_allclose(a.grad, [4.0])
+
+
+class TestReductions:
+    def test_sum_axis_keepdims(self):
+        a = Tensor(np.arange(6, dtype=np.float64).reshape(2, 3), requires_grad=True)
+        s = a.sum(axis=1)
+        assert s.shape == (2,)
+        s.sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((2, 3)))
+
+    def test_mean(self):
+        a = Tensor(np.ones((2, 4)), requires_grad=True)
+        a.mean().backward()
+        np.testing.assert_allclose(a.grad, np.full((2, 4), 1 / 8))
+
+    def test_mean_axis(self):
+        a = Tensor(np.ones((2, 4)), requires_grad=True)
+        a.mean(axis=0).sum().backward()
+        np.testing.assert_allclose(a.grad, np.full((2, 4), 0.5))
+
+    def test_var_matches_numpy(self):
+        x = np.random.default_rng(0).normal(size=(3, 5))
+        v = Tensor(x).var(axis=1)
+        np.testing.assert_allclose(v.data, x.var(axis=1), rtol=1e-6)
+
+    def test_max_backward_routes_to_argmax(self):
+        a = Tensor(np.array([[1.0, 5.0, 3.0]]), requires_grad=True)
+        a.max(axis=1).sum().backward()
+        np.testing.assert_allclose(a.grad, [[0, 1, 0]])
+
+    def test_max_ties_split_gradient(self):
+        a = Tensor(np.array([2.0, 2.0]), requires_grad=True)
+        a.max().backward()
+        np.testing.assert_allclose(a.grad, [0.5, 0.5])
+
+
+class TestShapeOps:
+    def test_reshape_roundtrip(self):
+        a = Tensor(np.arange(6, dtype=np.float64), requires_grad=True)
+        a.reshape(2, 3).sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones(6))
+
+    def test_transpose_backward(self):
+        a = Tensor(np.random.default_rng(0).normal(size=(2, 3, 4)), requires_grad=True)
+        (a.transpose(2, 0, 1) * 2).sum().backward()
+        np.testing.assert_allclose(a.grad, np.full((2, 3, 4), 2.0))
+
+    def test_default_transpose_reverses(self):
+        a = Tensor(np.zeros((2, 3, 4)))
+        assert a.transpose().shape == (4, 3, 2)
+
+    def test_swapaxes(self):
+        a = Tensor(np.zeros((2, 3, 4)))
+        assert a.swapaxes(0, 2).shape == (4, 3, 2)
+
+    def test_getitem_backward_scatter(self):
+        a = Tensor(np.arange(5, dtype=np.float64), requires_grad=True)
+        a[1:3].sum().backward()
+        np.testing.assert_allclose(a.grad, [0, 1, 1, 0, 0])
+
+    def test_getitem_fancy_index_accumulates(self):
+        a = Tensor(np.zeros(3), requires_grad=True)
+        idx = np.array([0, 0, 2])
+        a[idx].sum().backward()
+        np.testing.assert_allclose(a.grad, [2, 0, 1])
+
+    def test_concat_backward(self):
+        a = Tensor(np.ones(2), requires_grad=True)
+        b = Tensor(np.ones(3), requires_grad=True)
+        c = concat([a, b])
+        assert c.shape == (5,)
+        (c * Tensor(np.arange(5.0))).sum().backward()
+        np.testing.assert_allclose(a.grad, [0, 1])
+        np.testing.assert_allclose(b.grad, [2, 3, 4])
+
+    def test_stack_backward(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        b = Tensor(np.ones(3), requires_grad=True)
+        s = stack([a, b], axis=0)
+        assert s.shape == (2, 3)
+        (s[0] * 2 + s[1] * 3).sum().backward()
+        np.testing.assert_allclose(a.grad, [2, 2, 2])
+        np.testing.assert_allclose(b.grad, [3, 3, 3])
+
+
+class TestMatmul:
+    def test_2d(self):
+        a = Tensor(np.random.default_rng(0).normal(size=(3, 4)), requires_grad=True)
+        b = Tensor(np.random.default_rng(1).normal(size=(4, 5)), requires_grad=True)
+        (a @ b).sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((3, 5)) @ b.data.T)
+        np.testing.assert_allclose(b.grad, a.data.T @ np.ones((3, 5)))
+
+    def test_batched_broadcast(self):
+        a = Tensor(np.random.default_rng(0).normal(size=(2, 6, 3, 4)), requires_grad=True)
+        b = Tensor(np.random.default_rng(1).normal(size=(4, 5)), requires_grad=True)
+        out = a @ b
+        assert out.shape == (2, 6, 3, 5)
+        out.sum().backward()
+        assert a.grad.shape == a.shape
+        assert b.grad.shape == b.shape
+
+    def test_matvec(self):
+        a = Tensor(np.eye(3), requires_grad=True)
+        v = Tensor(np.array([1.0, 2.0, 3.0]), requires_grad=True)
+        (a @ v).sum().backward()
+        assert a.grad.shape == (3, 3)
+        np.testing.assert_allclose(v.grad, [1, 1, 1])
+
+
+class TestAutogradMachinery:
+    def test_no_grad_context(self):
+        a = Tensor(np.ones(2), requires_grad=True)
+        with no_grad():
+            y = a * 2
+        assert not y.requires_grad
+
+    def test_backward_requires_scalar(self):
+        a = Tensor(np.ones(3), requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (a * 2).backward()
+
+    def test_backward_on_nongrad_raises(self):
+        with pytest.raises(RuntimeError):
+            Tensor(np.ones(1)).backward()
+
+    def test_diamond_graph_accumulates_once_per_path(self):
+        # y = x*2 ; z = x*3 ; out = y+z → dout/dx = 5
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        (x * 2 + x * 3).backward()
+        np.testing.assert_allclose(x.grad, [5.0])
+
+    def test_deep_chain_no_recursion_error(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        y = x
+        for _ in range(3000):
+            y = y + 0.001
+        y.backward()
+        np.testing.assert_allclose(x.grad, [1.0])
+
+    def test_zero_grad(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        (x * 2).backward()
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_clip_backward_masks(self):
+        x = Tensor(np.array([-2.0, 0.5, 2.0]), requires_grad=True)
+        x.clip(-1, 1).sum().backward()
+        np.testing.assert_allclose(x.grad, [0, 1, 0])
+
+    def test_abs_backward(self):
+        x = Tensor(np.array([-2.0, 3.0]), requires_grad=True)
+        x.abs().sum().backward()
+        np.testing.assert_allclose(x.grad, [-1, 1])
+
+    def test_astype_backward_casts(self):
+        x = Tensor(np.ones(2, dtype=np.float64), requires_grad=True)
+        y = x.astype(np.float32)
+        assert y.dtype == np.float32
+        y.sum().backward()
+        assert x.grad.dtype == np.float64

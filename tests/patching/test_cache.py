@@ -1,0 +1,134 @@
+"""Tests for the Algorithm-1 patch precomputation cache."""
+
+import numpy as np
+import pytest
+
+from repro.data import generate_wsi
+from repro.patching import (AdaptivePatcher, CachingPatcher, PatchCache,
+                            UniformPatcher)
+
+
+def img(seed=0):
+    return generate_wsi(64, seed=seed).image.mean(axis=2)
+
+
+class TestPatchCache:
+    def test_hit_miss_accounting(self):
+        cache = PatchCache()
+        p = AdaptivePatcher(patch_size=4, split_value=2.0)
+        build = lambda: p(img())
+        cache.get_or_build("a", build)
+        cache.get_or_build("a", build)
+        cache.get_or_build("b", lambda: p(img(1)))
+        assert cache.hits == 1 and cache.misses == 2
+        assert cache.hit_rate == pytest.approx(1 / 3)
+        assert len(cache) == 2
+
+    def test_max_items_cap(self):
+        cache = PatchCache(max_items=1)
+        p = AdaptivePatcher(patch_size=4, split_value=2.0)
+        cache.get_or_build("a", lambda: p(img()))
+        cache.get_or_build("b", lambda: p(img(1)))
+        assert len(cache) == 1  # second entry not stored
+
+    def test_invalid_cap(self):
+        with pytest.raises(ValueError):
+            PatchCache(max_items=0)
+
+    def test_clear(self):
+        cache = PatchCache()
+        cache.get_or_build("a", lambda: AdaptivePatcher(patch_size=4)(img()))
+        cache.clear()
+        assert len(cache) == 0
+
+
+class TestCachingPatcher:
+    def test_wraps_adaptive_only(self):
+        with pytest.raises(TypeError):
+            CachingPatcher(UniformPatcher(4))
+
+    def test_same_geometry_as_uncached(self):
+        plain = AdaptivePatcher(patch_size=4, split_value=2.0)
+        cached = CachingPatcher(AdaptivePatcher(patch_size=4, split_value=2.0))
+        a = plain(img())
+        b = cached(img())
+        np.testing.assert_array_equal(a.ys, b.ys)
+        np.testing.assert_array_equal(a.patches, b.patches)
+
+    def test_second_call_hits_cache(self):
+        cached = CachingPatcher(AdaptivePatcher(patch_size=4, split_value=2.0))
+        cached(img(), key="x")
+        cached(img(), key="x")
+        assert cached.cache.hits == 1
+        assert cached.cache.build_seconds > 0
+
+    def test_content_keying_without_explicit_key(self):
+        cached = CachingPatcher(AdaptivePatcher(patch_size=4, split_value=2.0))
+        cached(img())
+        cached(img())
+        cached(img(1))
+        assert cached.cache.hits == 1 and cached.cache.misses == 2
+
+    def test_drops_still_random_after_cache(self):
+        # The cached natural sequence is shared but the drop step must stay
+        # stochastic across calls (training-time augmentation).
+        p = AdaptivePatcher(patch_size=2, split_value=0.5, target_length=10)
+        cached = CachingPatcher(p)
+        s1 = cached(img(), key="k")
+        s2 = cached(img(), key="k")
+        assert cached.cache.misses == 1
+        assert len(s1) == len(s2) == 10
+        # Different drops almost surely pick different leaves.
+        assert not np.array_equal(s1.ys, s2.ys) or not np.array_equal(s1.xs, s2.xs)
+
+    def test_extract_natural_cached(self):
+        cached = CachingPatcher(AdaptivePatcher(patch_size=4, split_value=2.0,
+                                                target_length=32))
+        nat = cached.extract_natural(img(), key="k")
+        again = cached.extract_natural(img(), key="k")
+        assert nat is again  # same cached object
+
+    def test_works_in_token_task(self):
+        from repro.models import ViTSegmenter
+        from repro.train import TokenSegmentationTask
+
+        sample = generate_wsi(64, seed=0)
+        cached = CachingPatcher(AdaptivePatcher(patch_size=4, split_value=2.0,
+                                                target_length=128))
+        model = ViTSegmenter(patch_size=4, channels=1, dim=16, depth=1,
+                             heads=2, max_len=256)
+        task = TokenSegmentationTask(model, cached, channels=1)
+        loss1 = task.val_loss([sample])
+        loss2 = task.val_loss([sample])
+        assert np.isfinite(loss1) and np.isfinite(loss2)
+        assert cached.cache.hits >= 1
+        # Evaluation path must use the natural (no-drop) sequence.
+        probs = task.predict_probs(sample)
+        assert probs.shape == (1, 64, 64)
+
+
+class TestTrainerNanGuard:
+    def test_nonfinite_loss_raises(self):
+        from repro import nn
+        from repro.train import Trainer
+
+        class BadTask:
+            def __init__(self):
+                self.w = nn.Parameter(np.ones(1))
+
+            def parameters(self):
+                return [self.w]
+
+            def batch_loss(self, batch):
+                return (self.w * np.nan).sum()
+
+            def val_loss(self, batch):
+                return 0.0
+
+            def evaluate(self, batch):
+                return 0.0
+
+        task = BadTask()
+        tr = Trainer(task, nn.SGD(task.parameters(), lr=0.1), batch_size=1)
+        with pytest.raises(FloatingPointError):
+            tr.train_epoch([0])

@@ -1,0 +1,77 @@
+"""Tests for drop strategies and ordering options of the adaptive patcher."""
+
+import numpy as np
+import pytest
+
+from repro.data import generate_wsi
+from repro.patching import AdaptivePatcher, APFConfig
+
+
+def busy_image(z=64):
+    return generate_wsi(z, seed=3).image.mean(axis=2)
+
+
+class TestDropStrategies:
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            APFConfig(drop_strategy="smallest-first")
+
+    def test_coarsest_first_keeps_fine_leaves(self):
+        img = busy_image()
+        p_nat = AdaptivePatcher(patch_size=2, split_value=1.0)
+        natural = p_nat.extract_natural(img)
+        target = len(natural) // 2
+        rand = AdaptivePatcher(patch_size=2, split_value=1.0,
+                               target_length=target)(img)
+        smart = AdaptivePatcher(patch_size=2, split_value=1.0,
+                                target_length=target,
+                                drop_strategy="coarsest-first")(img)
+        assert len(rand) == len(smart) == target
+        # Coarsest-first must retain at least as many finest leaves.
+        fine = natural.sizes.min()
+        assert (smart.sizes == fine).sum() >= (rand.sizes == fine).sum()
+        # And it drops the biggest leaves first: max retained size <= random's.
+        assert smart.sizes[smart.valid].max() <= rand.sizes[rand.valid].max()
+
+    def test_coarsest_first_detail_coverage(self):
+        # The retained area under coarsest-first covers less total area but
+        # more edge detail per token.
+        img = busy_image()
+        p = AdaptivePatcher(patch_size=2, split_value=1.0, target_length=40,
+                            drop_strategy="coarsest-first")
+        seq = p(img)
+        assert seq.coverage_fraction() < 1.0
+        assert seq.n_dropped > 0
+
+    def test_strategies_identical_when_no_drop(self):
+        img = busy_image()
+        nat_len = len(AdaptivePatcher(patch_size=4, split_value=2.0)
+                      .extract_natural(img))
+        a = AdaptivePatcher(patch_size=4, split_value=2.0,
+                            target_length=nat_len)(img)
+        b = AdaptivePatcher(patch_size=4, split_value=2.0,
+                            target_length=nat_len,
+                            drop_strategy="coarsest-first")(img)
+        np.testing.assert_array_equal(a.ys, b.ys)
+
+    def test_coarsest_first_tiebreak_is_seeded(self):
+        img = busy_image()
+        kw = dict(patch_size=2, split_value=1.0, target_length=30,
+                  drop_strategy="coarsest-first")
+        s1 = AdaptivePatcher(seed=5, **kw)(img)
+        s2 = AdaptivePatcher(seed=5, **kw)(img)
+        np.testing.assert_array_equal(s1.ys, s2.ys)
+
+
+class TestHilbertOrdering:
+    def test_hilbert_improves_sequence_locality(self):
+        img = busy_image()
+        def mean_step(order):
+            seq = AdaptivePatcher(patch_size=4, split_value=1.0,
+                                  order=order)(img)
+            cy = seq.ys + seq.sizes / 2.0
+            cx = seq.xs + seq.sizes / 2.0
+            return float(np.hypot(np.diff(cy), np.diff(cx)).mean())
+
+        assert mean_step("hilbert") <= mean_step("morton") + 1e-9
+        assert mean_step("morton") < mean_step("rowmajor")

@@ -1,0 +1,60 @@
+"""Tests for the uniform-grid baseline patcher."""
+
+import numpy as np
+import pytest
+
+from repro.patching import UniformPatcher, uniform_sequence_length
+
+
+class TestSequenceLength:
+    def test_paper_example(self):
+        # §III-A: Z=512, P=8 → N=4096.
+        assert uniform_sequence_length(512, 8) == 4096
+
+    def test_indivisible_raises(self):
+        with pytest.raises(ValueError):
+            uniform_sequence_length(512, 7)
+
+
+class TestUniformPatcher:
+    def test_patch_count(self):
+        seq = UniformPatcher(4)(np.zeros((16, 16)))
+        assert len(seq) == 16
+        assert seq.n_real == 16
+        assert seq.valid.all()
+
+    def test_patch_content_exact(self):
+        img = np.arange(64, dtype=float).reshape(8, 8)
+        seq = UniformPatcher(4).extract(img)
+        np.testing.assert_array_equal(seq.patches[0, 0], img[:4, :4])
+        np.testing.assert_array_equal(seq.patches[1, 0], img[:4, 4:])
+        np.testing.assert_array_equal(seq.patches[3, 0], img[4:, 4:])
+
+    def test_channels_preserved(self):
+        img = np.random.default_rng(0).random((8, 8, 3))
+        seq = UniformPatcher(2).extract(img)
+        assert seq.patches.shape == (16, 3, 2, 2)
+
+    def test_reconstruct_roundtrip(self):
+        img = np.random.default_rng(0).random((16, 16, 2))
+        patcher = UniformPatcher(4)
+        seq = patcher.extract(img)
+        rec = patcher.reconstruct(seq)
+        np.testing.assert_allclose(rec, img.transpose(2, 0, 1))
+
+    def test_rejects_nonsquare(self):
+        with pytest.raises(ValueError):
+            UniformPatcher(4).extract(np.zeros((8, 16)))
+
+    def test_rejects_indivisible(self):
+        with pytest.raises(ValueError):
+            UniformPatcher(3).extract(np.zeros((8, 8)))
+
+    def test_geometry_row_major(self):
+        seq = UniformPatcher(4).extract(np.zeros((8, 8)))
+        np.testing.assert_array_equal(seq.ys, [0, 0, 4, 4])
+        np.testing.assert_array_equal(seq.xs, [0, 4, 0, 4])
+
+    def test_tokens_flatten(self):
+        seq = UniformPatcher(4).extract(np.zeros((8, 8, 3)))
+        assert seq.tokens().shape == (4, 3 * 16)

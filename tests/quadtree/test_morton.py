@@ -1,0 +1,71 @@
+"""Tests for Morton z-order codes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quadtree import morton_decode, morton_encode, morton_sort_order
+
+
+class TestMortonCodes:
+    def test_known_small_values(self):
+        # code interleaves y (odd bits) and x (even bits):
+        # (y,x)=(0,0)->0, (0,1)->1, (1,0)->2, (1,1)->3 — the z pattern.
+        codes = morton_encode([0, 0, 1, 1], [0, 1, 0, 1])
+        np.testing.assert_array_equal(codes, [0, 1, 2, 3])
+
+    def test_second_level_block(self):
+        # The 2x2 super-block at (0,2) starts after the first block: (0,2)->4
+        assert morton_encode(0, 2)[0] == 4
+        assert morton_encode(2, 0)[0] == 8
+        assert morton_encode(2, 2)[0] == 12
+
+    def test_roundtrip_random(self):
+        rng = np.random.default_rng(0)
+        y = rng.integers(0, 2 ** 20, size=1000)
+        x = rng.integers(0, 2 ** 20, size=1000)
+        yd, xd = morton_decode(morton_encode(y, x))
+        np.testing.assert_array_equal(yd, y)
+        np.testing.assert_array_equal(xd, x)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            morton_encode(2 ** 25, 0)
+
+    def test_sort_order_is_z_traversal(self):
+        # Full 4x4 grid in row-major order; z-order visits quadrant-by-quadrant.
+        ys, xs = np.mgrid[0:4, 0:4]
+        order = morton_sort_order(ys.ravel(), xs.ravel())
+        pts = list(zip(ys.ravel()[order], xs.ravel()[order]))
+        assert pts[:4] == [(0, 0), (0, 1), (1, 0), (1, 1)]  # NW quadrant first
+        assert pts[4:8] == [(0, 2), (0, 3), (1, 2), (1, 3)]  # NE quadrant second
+
+    @given(st.lists(st.tuples(st.integers(0, 2 ** 16 - 1), st.integers(0, 2 ** 16 - 1)),
+                    min_size=1, max_size=50, unique=True))
+    @settings(max_examples=50, deadline=None)
+    def test_property_codes_unique_for_distinct_points(self, pts):
+        ys = np.array([p[0] for p in pts])
+        xs = np.array([p[1] for p in pts])
+        codes = morton_encode(ys, xs)
+        assert len(np.unique(codes)) == len(pts)
+
+    @given(st.integers(0, 2 ** 20 - 1), st.integers(0, 2 ** 20 - 1))
+    @settings(max_examples=100, deadline=None)
+    def test_property_roundtrip(self, y, x):
+        yd, xd = morton_decode(morton_encode(y, x))
+        assert yd[0] == y and xd[0] == x
+
+    def test_locality_better_than_rowmajor(self):
+        # Mean euclidean distance of successive points along the curve should
+        # beat row-major scan order for a 16x16 grid (the property the paper
+        # uses Morton order *for*).
+        n = 16
+        ys, xs = np.mgrid[0:n, 0:n]
+        ys, xs = ys.ravel(), xs.ravel()
+        z = morton_sort_order(ys, xs)
+        pz = np.stack([ys[z], xs[z]], 1).astype(float)
+        zdist = np.linalg.norm(np.diff(pz, axis=0), axis=1).mean()
+        prm = np.stack([ys, xs], 1).astype(float)
+        rdist = np.linalg.norm(np.diff(prm, axis=0), axis=1).mean()
+        assert zdist <= rdist

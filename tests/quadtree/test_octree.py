@@ -1,0 +1,99 @@
+"""Tests for the octree / 3-D Morton volumetric extension."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quadtree import (build_octree, morton3d_decode, morton3d_encode)
+
+
+def center_ball(n=16, r=4):
+    zz, yy, xx = np.mgrid[0:n, 0:n, 0:n]
+    c = n // 2
+    return (((zz - c) ** 2 + (yy - c) ** 2 + (xx - c) ** 2) < r * r).astype(float)
+
+
+class TestMorton3d:
+    def test_known_small_values(self):
+        # (z,y,x) = (0,0,1) → 1; (0,1,0) → 2; (1,0,0) → 4 — octant order.
+        assert morton3d_encode(0, 0, 1)[0] == 1
+        assert morton3d_encode(0, 1, 0)[0] == 2
+        assert morton3d_encode(1, 0, 0)[0] == 4
+        assert morton3d_encode(1, 1, 1)[0] == 7
+
+    def test_roundtrip_random(self):
+        rng = np.random.default_rng(0)
+        z = rng.integers(0, 2 ** 12, 300)
+        y = rng.integers(0, 2 ** 12, 300)
+        x = rng.integers(0, 2 ** 12, 300)
+        zd, yd, xd = morton3d_decode(morton3d_encode(z, y, x))
+        np.testing.assert_array_equal(zd, z)
+        np.testing.assert_array_equal(yd, y)
+        np.testing.assert_array_equal(xd, x)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            morton3d_encode(2 ** 17, 0, 0)
+
+    @given(st.integers(0, 2 ** 12 - 1), st.integers(0, 2 ** 12 - 1),
+           st.integers(0, 2 ** 12 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_property_roundtrip(self, z, y, x):
+        zd, yd, xd = morton3d_decode(morton3d_encode(z, y, x))
+        assert (zd[0], yd[0], xd[0]) == (z, y, x)
+
+
+class TestBuildOctree:
+    def test_empty_volume_single_leaf(self):
+        leaves = build_octree(np.zeros((8, 8, 8)), 0.0, 3)
+        assert len(leaves) == 1
+        assert leaves.covers_exactly()
+
+    def test_full_detail_fully_refines(self):
+        leaves = build_octree(np.ones((8, 8, 8)), 0.0, 3)
+        assert len(leaves) == 512
+        assert leaves.covers_exactly()
+
+    def test_ball_refines_boundary(self):
+        leaves = build_octree(center_ball(), split_value=4.0, max_depth=4)
+        assert leaves.covers_exactly()
+        assert len(leaves) < 16 ** 3
+        assert len(set(leaves.sizes)) > 1  # mixed refinement
+
+    def test_min_size_respected(self):
+        leaves = build_octree(np.ones((16, 16, 16)), 0.0, 10, min_size=4)
+        assert leaves.sizes.min() == 4
+
+    def test_split_monotone_in_value(self):
+        d = center_ball()
+        lens = [build_octree(d, v, 4).sequence_length for v in (1, 8, 64)]
+        assert lens == sorted(lens, reverse=True)
+
+    def test_morton_order_sorted(self):
+        leaves = build_octree(center_ball(), 4.0, 4).sorted_by_morton()
+        codes = morton3d_encode(leaves.zs, leaves.ys, leaves.xs).astype(np.int64)
+        assert (np.diff(codes) > 0).all()
+
+    def test_histogram_volume_conserved(self):
+        leaves = build_octree(center_ball(), 4.0, 4)
+        hist = leaves.size_histogram()
+        assert sum(s ** 3 * c for s, c in hist.items()) == 16 ** 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_octree(np.zeros((8, 8)), 1.0, 2)
+        with pytest.raises(ValueError):
+            build_octree(np.zeros((8, 8, 4)), 1.0, 2)
+        with pytest.raises(ValueError):
+            build_octree(np.zeros((12, 12, 12)), 1.0, 2)
+        with pytest.raises(ValueError):
+            build_octree(np.zeros((8, 8, 8)), -1.0, 2)
+
+    @given(st.integers(0, 10 ** 6), st.integers(1, 3))
+    @settings(max_examples=15, deadline=None)
+    def test_property_exact_tiling(self, seed, depth):
+        rng = np.random.default_rng(seed)
+        d = (rng.random((16, 16, 16)) > 0.9).astype(float)
+        leaves = build_octree(d, float(rng.random() * 8), depth)
+        assert leaves.covers_exactly()

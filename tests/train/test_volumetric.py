@@ -1,0 +1,52 @@
+"""Tests for the §IV-F2 per-slice-to-3D inference protocol."""
+
+import numpy as np
+import pytest
+
+from repro.data import SyntheticBTCV
+from repro.train import predict_volume, volume_dice
+from repro.train.volumetric import slices_to_volume_task
+
+
+class TestPredictVolume:
+    def test_slicewise_application(self):
+        vol = np.stack([np.full((4, 4), i, dtype=float) for i in range(3)])
+        out = predict_volume(lambda s: (s > 0.5).astype(int), vol)
+        assert out.shape == (3, 4, 4)
+        assert out[0].sum() == 0 and out[2].sum() == 16
+
+    def test_rejects_non_3d(self):
+        with pytest.raises(ValueError):
+            predict_volume(lambda s: s, np.zeros((4, 4)))
+
+
+class TestVolumeDice:
+    def test_perfect(self):
+        v = np.random.default_rng(0).integers(0, 4, (3, 8, 8))
+        assert volume_dice(v, v, 4) == 100.0
+
+    def test_pooled_across_slices(self):
+        # A class present in only one slice still counts once, volumetrically.
+        t = np.zeros((2, 4, 4), dtype=int)
+        t[0, 0, 0] = 1
+        p = np.zeros_like(t)
+        p[1, 0, 0] = 1  # predicted in the wrong slice → zero overlap
+        assert volume_dice(p, t, 2) == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            volume_dice(np.zeros((2, 4, 4)), np.zeros((3, 4, 4)), 2)
+
+
+class TestSlicesToVolume:
+    def test_with_unet_task(self):
+        from repro.models import UNet
+        from repro.train import ImageSegmentationTask
+
+        ds = SyntheticBTCV(32, n_subjects=1, slices_per_subject=3)
+        samples = [ds[i] for i in range(3)]
+        task = ImageSegmentationTask(
+            UNet(channels=1, out_channels=14, widths=(8, 16)),
+            channels=1, multiclass=14)
+        score = slices_to_volume_task(task, samples)
+        assert 0.0 <= score <= 100.0
