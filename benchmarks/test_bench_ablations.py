@@ -120,7 +120,6 @@ class TestCoordEmbeddingAblation:
     def test_coords_embedding_helps_adaptive_layout(self, once):
         """With APF the per-index positional table is inconsistent across
         images; the geometry embedding should not hurt, and usually helps."""
-        from repro import nn
         from repro.experiments.common import (ExperimentScale, make_trainer,
                                               paip_splits)
         from repro.models import ViTSegmenter
@@ -155,7 +154,7 @@ class TestSequenceParallelComparison:
         """Table I's punchline: sequence parallelism distributes the same
         quadratic work; APF removes work before the model sees it."""
         from repro.distributed import ulysses_attention
-        from repro.perf import TransformerConfig, attention_flops
+        from repro.perf import attention_flops
 
         def measure():
             h, n, dh = 8, 256, 16

@@ -4,7 +4,6 @@ all-reduce) — the per-component costs behind the headline numbers.
 """
 
 import numpy as np
-import pytest
 
 from repro import nn
 from repro.data import generate_wsi

@@ -7,7 +7,6 @@ and actually-allocated attention matrices on this substrate.
 
 import numpy as np
 
-from repro import nn
 from repro.data import generate_wsi
 from repro.patching import AdaptivePatcher, UniformPatcher
 from repro.perf import TransformerConfig, activation_bytes, attention_memory_bytes

@@ -5,7 +5,6 @@ substrate. Projected section: the paper's seven rows through the α–β cost
 model (encoder-FLOP upper bound).
 """
 
-import pytest
 
 
 def test_table2_measured_speedup(once):

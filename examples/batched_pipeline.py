@@ -1,0 +1,66 @@
+"""End-to-end batched pipeline demo: dataset -> PatchPipeline -> trainer.
+
+Shows the three pipeline wins in one script:
+1. batched preprocessing (bit-identical to the per-image reference),
+2. the LRU cache amortizing patching across epochs (Algorithm 1),
+3. training from pre-collated (B, L, C*Pm^2) batches via ``fit_loader``.
+
+Run:  PYTHONPATH=src python examples/batched_pipeline.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import nn
+from repro.data import DataLoader, SyntheticPAIP
+from repro.models import ViTSegmenter
+from repro.patching import AdaptivePatcher
+from repro.pipeline import PatchPipeline
+from repro.train import TokenSegmentationTask, Trainer
+
+RES, N_IMAGES, EPOCHS = 128, 12, 3
+
+
+def main():
+    ds = SyntheticPAIP(RES, N_IMAGES)
+    pipe = PatchPipeline(patch_size=4, split_value=8.0, target_length=256,
+                         cache_items=64, channels=1)
+
+    # -- 1. throughput: reference loop vs pipeline over EPOCHS passes ----
+    imgs = [ds[i].image for i in range(N_IMAGES)]
+    ref = AdaptivePatcher(pipe.config)
+    t0 = time.perf_counter()
+    for _ in range(EPOCHS):
+        for im in imgs:
+            ref.extract_natural(im)
+    t_single = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    for _ in range(EPOCHS):
+        pipe.process(imgs, keys=list(range(N_IMAGES)))
+    t_pipe = time.perf_counter() - t0
+    total = EPOCHS * N_IMAGES
+    print(f"single loop : {total / t_single:6.1f} images/sec")
+    print(f"pipeline    : {total / t_pipe:6.1f} images/sec "
+          f"({t_single / t_pipe:.1f}x, cache {pipe.stats['hits']} hits / "
+          f"{pipe.stats['misses']} misses)")
+
+    # -- 2. training from pre-collated batches ---------------------------
+    loader = DataLoader(ds, batch_size=4, shuffle=True, pipeline=pipe)
+    model = ViTSegmenter(patch_size=4, channels=1, dim=32, depth=2, heads=4,
+                         max_len=256)
+    task = TokenSegmentationTask(model, pipe, channels=1)
+    trainer = Trainer(task, nn.Adam(task.parameters(), lr=1e-3))
+    history = trainer.fit_loader(loader, [ds[0], ds[1]], epochs=2)
+    print(f"trained 2 epochs: train loss {history.train_loss[-1]:.4f}, "
+          f"val dice {history.val_metric[-1]:.1f}%")
+    print(f"pipeline stats after training: {pipe.stats}")
+
+    # -- 3. inference reuses the cached natural sequence -----------------
+    probs = task.predict_probs(ds[0])
+    print(f"predicted mask shape {probs.shape}, "
+          f"mean prob {float(np.mean(probs)):.3f}")
+
+
+if __name__ == "__main__":
+    main()

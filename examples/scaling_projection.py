@@ -11,10 +11,8 @@
 Run:  python examples/scaling_projection.py
 """
 
-import numpy as np
 
 from repro import nn
-from repro.data import generate_wsi
 from repro.distributed import DataParallelSimulator
 from repro.experiments import run_table2_projection
 from repro.experiments.common import (ExperimentScale, make_trainer,

@@ -4,6 +4,7 @@ Reproduction of Zhang et al., SC 2024 (arXiv:2404.09707). The public API is
 organized by subsystem:
 
 * :mod:`repro.patching` — the Adaptive Patch Framework (the contribution)
+* :mod:`repro.pipeline` — batched/parallel/cached APF preprocessing engine
 * :mod:`repro.nn` — NumPy autograd + transformer/conv layers
 * :mod:`repro.imaging` — Gaussian blur, Canny, resizing
 * :mod:`repro.quadtree` — quadtree/octree + Morton/Hilbert curves
@@ -28,7 +29,7 @@ Quick start::
 __version__ = "1.0.0"
 
 from . import (data, distributed, imaging, metrics, models, nn, patching,
-               perf, quadtree, train)
+               perf, pipeline, quadtree, train)
 
-__all__ = ["nn", "imaging", "quadtree", "patching", "data", "models",
-           "train", "metrics", "distributed", "perf", "__version__"]
+__all__ = ["nn", "imaging", "quadtree", "patching", "pipeline", "data",
+           "models", "train", "metrics", "distributed", "perf", "__version__"]

@@ -9,8 +9,7 @@ exact).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Iterator, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -101,12 +100,16 @@ def train_val_test_split(dataset, fractions: Tuple[float, float, float] = (0.7, 
 class DataLoader:
     """Minimal batching iterator over a dataset of sample objects.
 
-    Yields lists of samples (collation is model-specific in this codebase:
-    the adaptive patcher runs per image before batching tokens).
+    By default yields lists of samples (collation is model-specific in this
+    codebase: the adaptive patcher runs per image before batching tokens).
+    With ``pipeline=`` set to a :class:`~repro.pipeline.engine.PatchPipeline`,
+    each batch is instead preprocessed + collated in one shot and yielded as
+    a :class:`~repro.pipeline.collate.CollatedBatch` — dataset indices serve
+    as cache keys, so epoch 2 onwards is nearly free.
     """
 
     def __init__(self, dataset, batch_size: int = 1, shuffle: bool = False,
-                 seed: int = 0, drop_last: bool = False):
+                 seed: int = 0, drop_last: bool = False, pipeline=None):
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
         self.dataset = dataset
@@ -114,6 +117,7 @@ class DataLoader:
         self.shuffle = shuffle
         self.seed = seed
         self.drop_last = drop_last
+        self.pipeline = pipeline
         self._epoch = 0
 
     def __len__(self) -> int:
@@ -122,15 +126,21 @@ class DataLoader:
             return n // self.batch_size
         return (n + self.batch_size - 1) // self.batch_size
 
-    def __iter__(self) -> Iterator[list]:
+    def __iter__(self) -> Iterator:
         n = len(self.dataset)
+        epoch = self._epoch
+        self._epoch += 1
         if self.shuffle:
-            order = np.random.default_rng((self.seed, self._epoch)).permutation(n)
-            self._epoch += 1
+            order = np.random.default_rng((self.seed, epoch)).permutation(n)
         else:
             order = np.arange(n)
         for start in range(0, n, self.batch_size):
             idx = order[start:start + self.batch_size]
             if self.drop_last and len(idx) < self.batch_size:
                 break
-            yield [self.dataset[int(i)] for i in idx]
+            samples = [self.dataset[int(i)] for i in idx]
+            if self.pipeline is None:
+                yield samples
+            else:
+                yield self.pipeline.collate_samples(
+                    samples, epoch=epoch, keys=[int(i) for i in idx])

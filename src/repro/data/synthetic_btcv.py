@@ -11,7 +11,6 @@ Class ids follow BTCV convention: 0 = background, 1..13 = organs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
 
 import numpy as np
 from scipy import ndimage

@@ -13,7 +13,7 @@ tint and texture frequency so a classifier has real signal to learn.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Optional
 
 import numpy as np
 from scipy import ndimage

@@ -19,7 +19,6 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from .. import nn
 from ..perf.costmodel import CostModel
 from .collectives import CommStats, SimCluster
 

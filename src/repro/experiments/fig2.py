@@ -14,9 +14,8 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from ..data import generate_wsi
 from ..metrics import dice_score
-from ..models import TransUNetLite, UNet
+from ..models import TransUNetLite
 from ..train import ImageSegmentationTask
 from .common import (ExperimentScale, make_trainer, make_unetr_task,
                      paip_splits)

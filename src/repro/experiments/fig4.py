@@ -10,7 +10,7 @@ validation losses (:meth:`TrainingHistory.loss_stability`).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 

@@ -13,7 +13,6 @@ import time
 from dataclasses import dataclass
 from typing import List, Sequence
 
-import numpy as np
 
 from .. import nn
 from ..data import generate_wsi

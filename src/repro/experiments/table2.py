@@ -15,11 +15,11 @@ Two complementary reproductions:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional
 
 import numpy as np
 
-from ..perf import CostModel, TransformerConfig, training_flops
+from ..perf import CostModel, TransformerConfig
 from .common import (ExperimentScale, format_table, geomean, make_trainer,
                      make_unetr_task, make_vit_token_task, paip_splits)
 

@@ -15,9 +15,8 @@ from typing import List, Optional
 
 import numpy as np
 
-from .. import nn
 from ..models import TransUNetLite, UNet
-from ..train import ImageSegmentationTask, Trainer
+from ..train import ImageSegmentationTask
 from .common import (ExperimentScale, format_table, make_trainer,
                      make_unetr_task, make_vit_token_task, paip_splits)
 

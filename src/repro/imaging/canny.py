@@ -9,7 +9,6 @@ inputs and normalizes thresholds accordingly.
 
 from __future__ import annotations
 
-from typing import Tuple
 
 import numpy as np
 from scipy import ndimage

@@ -10,7 +10,7 @@ back to tokens through the fancy-indexing op.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import Sequence, Tuple
 
 import numpy as np
 

@@ -7,7 +7,6 @@ multi-class cross-entropy / dice used by the BTCV (Table IV) experiments.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 

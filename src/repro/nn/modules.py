@@ -13,7 +13,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 import numpy as np
 
 from . import functional as F
-from .tensor import Tensor, concat
+from .tensor import Tensor
 
 __all__ = [
     "Parameter",

@@ -6,7 +6,7 @@
 """
 
 from .adaptive import AdaptivePatcher, APFConfig
-from .cache import CachingPatcher, PatchCache
+from .cache import CachingPatcher, LRUPatchCache, PatchCache
 from .sequence import PatchSequence
 from .uniform import UniformPatcher, uniform_sequence_length
 from .volumetric import (VolumeAPFConfig, VolumeSequence,
@@ -14,4 +14,5 @@ from .volumetric import (VolumeAPFConfig, VolumeSequence,
 
 __all__ = ["AdaptivePatcher", "APFConfig", "PatchSequence", "UniformPatcher",
            "uniform_sequence_length", "CachingPatcher", "PatchCache",
+           "LRUPatchCache",
            "VolumetricAdaptivePatcher", "VolumeAPFConfig", "VolumeSequence"]

@@ -18,8 +18,8 @@ unchanged.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from dataclasses import dataclass, replace
+from typing import Optional
 
 import numpy as np
 
@@ -139,11 +139,14 @@ class AdaptivePatcher:
         return self.extract(image)
 
     def extract(self, image: np.ndarray,
-                leaves: Optional[QuadtreeLeaves] = None) -> PatchSequence:
+                leaves: Optional[QuadtreeLeaves] = None,
+                config: Optional[APFConfig] = None) -> PatchSequence:
         """Full pipeline: image → model-ready :class:`PatchSequence`.
 
         ``leaves`` may be supplied to reuse a tree (e.g. to patchify the
         label mask with the same partition as the input image).
+        ``config`` overrides ``self.config`` for this call only — the shared
+        config object is never mutated, so concurrent callers are safe.
         """
         img = np.asarray(image, dtype=np.float64)
         if img.ndim == 2:
@@ -153,7 +156,7 @@ class AdaptivePatcher:
             raise ValueError(f"expected square image, got {img.shape}")
         if leaves is None:
             leaves = self.build_tree(image)
-        cfg = self.config
+        cfg = config if config is not None else self.config
 
         if cfg.order == "morton":
             leaves = leaves.sorted_by_morton()
@@ -200,15 +203,18 @@ class AdaptivePatcher:
         cfg = self.config
         if cfg.target_length is None:
             return self.extract(image)
-        saved = cfg.target_length
-        try:
-            cfg.target_length = None
-            return self.extract(image)
-        finally:
-            cfg.target_length = saved
+        # Per-call config copy: mutating the shared config in place would race
+        # with concurrent extracts (the pipeline worker pool shares a patcher).
+        return self.extract(image, config=replace(cfg, target_length=None))
 
-    def fit_length(self, seq: PatchSequence, length: int) -> PatchSequence:
-        """Stage 6: randomly drop (too long) or zero-pad (too short) to ``length``."""
+    def fit_length(self, seq: PatchSequence, length: int,
+                   rng: Optional[np.random.Generator] = None) -> PatchSequence:
+        """Stage 6: randomly drop (too long) or zero-pad (too short) to ``length``.
+
+        ``rng`` overrides the patcher's own stream — the pipeline uses
+        per-image generators so results are independent of worker count.
+        """
+        rng = rng if rng is not None else self._rng
         n = len(seq)
         if n == length:
             return seq
@@ -216,11 +222,11 @@ class AdaptivePatcher:
             if self.config.drop_strategy == "coarsest-first":
                 # Drop the largest (lowest-detail) leaves first; ties broken
                 # randomly so repeated epochs still vary.
-                jitter = self._rng.random(n)
+                jitter = rng.random(n)
                 priority = np.lexsort((jitter, -seq.sizes))  # big sizes first
                 keep = np.sort(priority[n - length:])
             else:
-                keep = np.sort(self._rng.choice(n, size=length, replace=False))
+                keep = np.sort(rng.choice(n, size=length, replace=False))
             return PatchSequence(
                 patches=seq.patches[keep], ys=seq.ys[keep], xs=seq.xs[keep],
                 sizes=seq.sizes[keep], valid=seq.valid[keep],

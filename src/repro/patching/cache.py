@@ -10,14 +10,15 @@ amortization and is what the overhead accounting in §IV-G.3 assumes.
 from __future__ import annotations
 
 import time
-from typing import Callable, Dict, Hashable, Optional, Tuple
+from collections import OrderedDict
+from typing import Callable, Dict, Hashable, Optional
 
 import numpy as np
 
 from .adaptive import AdaptivePatcher
 from .sequence import PatchSequence
 
-__all__ = ["PatchCache", "CachingPatcher"]
+__all__ = ["PatchCache", "LRUPatchCache", "CachingPatcher"]
 
 
 class PatchCache:
@@ -55,6 +56,53 @@ class PatchCache:
     def hit_rate(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+
+class LRUPatchCache(PatchCache):
+    """Bounded :class:`PatchCache` that evicts the least-recently-used entry.
+
+    Unlike the base class — which simply stops storing once full (fine for
+    the paper's fixed training sets) — the LRU variant keeps serving-style
+    workloads hot: the working set stays cached while one-off images age out.
+    """
+
+    def __init__(self, max_items: int = 1024):
+        if max_items < 1:
+            raise ValueError("max_items must be positive")
+        super().__init__(max_items)
+        self._store: "OrderedDict[Hashable, PatchSequence]" = OrderedDict()
+        self.evictions = 0
+
+    def get_or_build(self, key: Hashable,
+                     build: Callable[[], PatchSequence]) -> PatchSequence:
+        if key in self._store:
+            self.hits += 1
+            self._store.move_to_end(key)
+            return self._store[key]
+        self.misses += 1
+        t0 = time.perf_counter()
+        seq = build()
+        self.build_seconds += time.perf_counter() - t0
+        self.put(key, seq)
+        return seq
+
+    def put(self, key: Hashable, seq: PatchSequence) -> None:
+        """Insert (or refresh) an entry, evicting the oldest when full."""
+        if key in self._store:
+            self._store.move_to_end(key)
+        self._store[key] = seq
+        while len(self._store) > self.max_items:
+            self._store.popitem(last=False)
+            self.evictions += 1
+
+    def get(self, key: Hashable) -> Optional[PatchSequence]:
+        """Hit-counting lookup without building; None on miss."""
+        if key in self._store:
+            self.hits += 1
+            self._store.move_to_end(key)
+            return self._store[key]
+        self.misses += 1
+        return None
 
 
 class CachingPatcher:

@@ -8,7 +8,7 @@ scatter token predictions back onto the image plane.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Optional
 
 import numpy as np
 

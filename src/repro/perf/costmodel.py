@@ -12,7 +12,7 @@ fabric, 100 GB/s Slingshot between nodes (paper §IV-A).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from .flops import TransformerConfig, training_flops
 

@@ -9,11 +9,11 @@ find the smallest patch size whose APF sequence fits the budget.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, Optional, Sequence
 
 import numpy as np
 
-from ..patching import AdaptivePatcher, APFConfig, uniform_sequence_length
+from ..patching import AdaptivePatcher, uniform_sequence_length
 
 __all__ = ["apf_length_curve", "equal_cost_patch_size", "equivalent_sequence_gain"]
 

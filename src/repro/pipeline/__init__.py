@@ -1,0 +1,19 @@
+"""``repro.pipeline`` — batched, parallel, cached APF preprocessing.
+
+The scale-out layer over :mod:`repro.patching`:
+
+* :class:`BatchedAdaptivePatcher` — bit-identical batch kernels for
+  Algorithm 1 stages 1-5 (screened sparse Canny, level-synchronous batched
+  quadtree, batch-grouped gather)
+* :class:`PatchPipeline` — worker pool + LRU sequence cache + fixed-length
+  collation front-end
+* :class:`CollatedBatch` / :func:`collate_batch` — the ``(B, L, C·Pm²)``
+  token tensor + validity mask hand-off to :mod:`repro.models`
+"""
+
+from .batched import BatchedAdaptivePatcher
+from .collate import CollatedBatch, collate_batch
+from .engine import PatchPipeline
+
+__all__ = ["BatchedAdaptivePatcher", "PatchPipeline", "CollatedBatch",
+           "collate_batch"]

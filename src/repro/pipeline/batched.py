@@ -1,0 +1,318 @@
+"""Batched APF preprocessing — the throughput engine behind the pipeline.
+
+:class:`BatchedAdaptivePatcher` runs Algorithm 1's stages 1-5 for a whole
+batch of images and produces **bit-identical** :class:`PatchSequence`s to the
+per-image :class:`~repro.patching.adaptive.AdaptivePatcher` (the readable,
+paper-faithful reference implementation). The speed comes from three places:
+
+1. **Screened sparse Canny** (stages 1-2). Detail is spatially sparse — the
+   paper's core premise — so most pixels cannot possibly reach the low
+   hysteresis threshold. A cheap local bound (``|∇| ≤ 8·√2 · max₃ₓ₃ |Δ|`` for
+   the 3×3 Sobel over adjacent differences) screens them out, and the exact
+   Sobel / NMS / threshold arithmetic runs only on the surviving ~10%. Every
+   retained computation replays the reference operations on the same scalars
+   (same ufuncs, same tap order), so the resulting edge mask is equal
+   bit-for-bit, not merely close.
+2. **Level-synchronous batched quadtree** (stage 3) via
+   :func:`~repro.quadtree.tree.build_quadtree_batch`: one shared frontier and
+   a single ``_region_sums`` call per depth across all images.
+3. **Buffer-reuse in the dense stages**: per-batch scratch arrays feed the
+   blur/screen passes in place instead of allocating ~15 full-image
+   temporaries per image.
+
+Dense full-image work (blur, screening, gather) deliberately stays per-image
+inside the batch loop: on bandwidth-bound hosts, streaming a (B, Z, Z)
+float64 stack through elementwise ops is measurably *slower* than per-image
+passes that fit in cache, while the small-array tree stage genuinely
+amortizes across the shared frontier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import List, Optional, Sequence
+
+import numpy as np
+from scipy import ndimage
+
+from ..imaging import gaussian_blur, to_grayscale
+from ..imaging.filters import KSIZE_FOR_RESOLUTION, gaussian_kernel1d
+from ..patching.adaptive import AdaptivePatcher, _variance_detail
+from ..patching.sequence import PatchSequence
+from ..quadtree import QuadtreeLeaves, balance_2to1, build_quadtree_batch
+
+__all__ = ["BatchedAdaptivePatcher"]
+
+#: Sobel magnitude bound: |gx|, |gy| ≤ 8·max|Δ| over the 3×3 neighbourhood,
+#: so mag = √(gx²+gy²) ≤ 8·√2·max|Δ|. The (1 - 1e-6) slack absorbs the ~1e-16
+#: relative rounding of the screen itself; the bound stays a strict superset.
+_SCREEN_FACTOR = 1.0 / (8.0 * np.sqrt(2.0)) * (1.0 - 1e-6)
+
+
+class _Scratch:
+    """Shape-keyed reusable buffer pool, allocated once per batch.
+
+    Full-image float64 temporaries dominate the dense stages' cost on
+    bandwidth-bound hosts; reusing them across the images of a batch keeps
+    the working set hot instead of faulting fresh pages every image.
+    """
+
+    def __init__(self):
+        self._bufs: dict = {}
+
+    def get(self, name: str, shape, dtype=np.float64) -> np.ndarray:
+        buf = self._bufs.get(name)
+        if buf is None or buf.shape != shape or buf.dtype != dtype:
+            buf = np.empty(shape, dtype=dtype)
+            self._bufs[name] = buf
+        return buf
+
+    def get_zeros(self, name: str, shape, dtype=np.float64) -> np.ndarray:
+        """Zero-filled on first allocation; callers must re-zero what they
+        write so reuse stays all-zero."""
+        buf = self._bufs.get(name)
+        if buf is None or buf.shape != shape or buf.dtype != dtype:
+            buf = np.zeros(shape, dtype=dtype)
+            self._bufs[name] = buf
+        return buf
+
+
+def _blur3_exact(gray: np.ndarray, scratch: Optional[_Scratch] = None
+                 ) -> np.ndarray:
+    """3-tap separable Gaussian blur, bit-identical to ``gaussian_blur(g, 3)``.
+
+    ``ndimage.correlate1d`` evaluates a symmetric 3-tap kernel as
+    ``k₁·center + k₀·(left + right)``; replaying that exact accumulation with
+    shifted whole-array ops reproduces its output bit-for-bit at a fraction
+    of the cost (no per-line Python dispatch, no ndimage buffer copies).
+    The result lives in a scratch buffer — consume it before the next call.
+    """
+    k = gaussian_kernel1d(3)
+    sc = scratch if scratch is not None else _Scratch()
+    pair = sc.get("blur_pair", gray.shape)
+    t = sc.get("blur_t", gray.shape)
+    out = sc.get("blur_out", gray.shape)
+    # Vertical pass: t = k1*gray + k0*(up + down), reflect boundary.
+    np.add(gray[:-2], gray[2:], out=pair[1:-1])      # rows 1..z-2
+    np.add(gray[0], gray[1], out=pair[0])            # row 0: up reflects to 0
+    np.add(gray[-2], gray[-1], out=pair[-1])         # row z-1: down reflects
+    np.multiply(pair, k[0], out=pair)
+    np.multiply(gray, k[1], out=t)
+    np.add(t, pair, out=t)
+    # Horizontal pass on t, same accumulation.
+    np.add(t[:, :-2], t[:, 2:], out=pair[:, 1:-1])
+    np.add(t[:, 0], t[:, 1], out=pair[:, 0])
+    np.add(t[:, -2], t[:, -1], out=pair[:, -1])
+    np.multiply(pair, k[0], out=pair)
+    np.multiply(t, k[1], out=out)
+    np.add(out, pair, out=out)
+    return out
+
+
+def _screen_candidates(f: np.ndarray, low: float,
+                       scratch: Optional[_Scratch] = None) -> np.ndarray:
+    """Boolean superset of ``{p : sobel_magnitude(f)(p) >= low}``.
+
+    Built from adjacent differences and a separable 3×3 max filter — three
+    cheap full-image passes instead of the full Sobel/NMS cascade.
+    """
+    sc = scratch if scratch is not None else _Scratch()
+    d = sc.get("scr_d", f.shape)
+    m = sc.get("scr_m", f.shape)
+    out = sc.get("scr_out", f.shape)
+    dx = sc.get("scr_dx", (f.shape[0], f.shape[1] - 1))
+    dy = sc.get("scr_dy", (f.shape[0] - 1, f.shape[1]))
+    np.subtract(f[:, 1:], f[:, :-1], out=dx)
+    np.abs(dx, out=dx)
+    np.subtract(f[1:, :], f[:-1, :], out=dy)
+    np.abs(dy, out=dy)
+    d.fill(0.0)
+    np.maximum(d[:, :-1], dx, out=d[:, :-1])
+    np.maximum(d[:, 1:], dx, out=d[:, 1:])
+    np.maximum(d[:-1, :], dy, out=d[:-1, :])
+    np.maximum(d[1:, :], dy, out=d[1:, :])
+    m[:] = d
+    np.maximum(m[:, :-1], d[:, 1:], out=m[:, :-1])
+    np.maximum(m[:, 1:], d[:, :-1], out=m[:, 1:])
+    out[:] = m
+    np.maximum(out[:-1, :], m[1:, :], out=out[:-1, :])
+    np.maximum(out[1:, :], m[:-1, :], out=out[1:, :])
+    return out >= low * _SCREEN_FACTOR
+
+
+def _sparse_canny(f: np.ndarray, low: float, high: float,
+                  scratch: Optional[_Scratch] = None) -> np.ndarray:
+    """Canny edge mask of a 0-255-scaled image, bit-identical to
+    :func:`repro.imaging.canny.canny_edges` on the same input.
+
+    Pixels outside the screen bound cannot reach ``low``; for the rest, the
+    Sobel taps are accumulated in ``ndimage.correlate``'s order (zero weights
+    skipped), and magnitude / angle / sector / NMS comparisons reuse the
+    reference ufuncs on the gathered values. A pixel below the screen can
+    never out-compare an NMS candidate (its magnitude is provably below
+    ``low`` ≤ the candidate's), so treating it as 0 — exactly like the
+    reference's zero padding — changes no decision.
+    """
+    z = f.shape[0]
+    sc = scratch if scratch is not None else _Scratch()
+    cand = _screen_candidates(f, low, sc)
+    cy, cx = np.nonzero(cand)
+    if not len(cy):
+        return np.zeros((z, z), dtype=bool)
+
+    # Symmetric pad (== ndimage mode="reflect") into a reused buffer.
+    pad = sc.get("pad", (z + 2, z + 2))
+    pad[1:-1, 1:-1] = f
+    pad[1:-1, 0] = f[:, 0]
+    pad[1:-1, -1] = f[:, -1]
+    pad[0, :] = pad[1, :]
+    pad[-1, :] = pad[-2, :]
+    yy, xx = cy + 1, cx + 1
+    v00 = pad[yy - 1, xx - 1]
+    v01 = pad[yy - 1, xx]
+    v02 = pad[yy - 1, xx + 1]
+    v10 = pad[yy, xx - 1]
+    v12 = pad[yy, xx + 1]
+    v20 = pad[yy + 1, xx - 1]
+    v21 = pad[yy + 1, xx]
+    v22 = pad[yy + 1, xx + 1]
+    # Tap order of ndimage.correlate(f, _SOBEL_X / _SOBEL_Y, mode="reflect").
+    gx = (-1.0) * v00 + 1.0 * v02 + (-2.0) * v10 + 2.0 * v12 \
+        + (-1.0) * v20 + 1.0 * v22
+    gy = (-1.0) * v00 + (-2.0) * v01 + (-1.0) * v02 + 1.0 * v20 \
+        + 2.0 * v21 + 1.0 * v22
+    mag = np.hypot(gx, gy)
+    ang = np.arctan2(gy, gx)
+
+    # Sector quantization — same formulas as canny.nonmax_suppression.
+    a = np.mod(ang, np.pi)
+    sector = np.zeros_like(a, dtype=np.int8)
+    sector[(a >= np.pi / 8) & (a < 3 * np.pi / 8)] = 1
+    sector[(a >= 3 * np.pi / 8) & (a < 5 * np.pi / 8)] = 2
+    sector[(a >= 5 * np.pi / 8) & (a < 7 * np.pi / 8)] = 3
+
+    # Comparison neighbours per sector (gradient direction, across the edge).
+    n1 = np.array([(0, 1), (-1, 1), (-1, 0), (-1, -1)], dtype=np.int64)
+    magf = sc.get_zeros("magf", (z + 2, z + 2))
+    magf[yy, xx] = mag      # 1-offset grid: out-of-image lookups read 0.0
+    o1 = n1[sector]
+    m1 = magf[yy + o1[:, 0], xx + o1[:, 1]]
+    m2 = magf[yy - o1[:, 0], xx - o1[:, 1]]
+    magf[yy, xx] = 0.0      # restore the all-zero reuse invariant
+    keep = (mag >= m1) & (mag >= m2)
+
+    weak = keep & (mag >= low)
+    strong = keep & (mag >= high)
+    ws = np.zeros((z, z), dtype=bool)
+    ws[cy[weak], cx[weak]] = True
+    labels, n = ndimage.label(ws, structure=np.ones((3, 3), dtype=bool))
+    if n == 0:
+        return np.zeros((z, z), dtype=bool)
+    has_strong = np.zeros(n + 1, dtype=bool)
+    has_strong[np.unique(labels[cy[strong], cx[strong]])] = True
+    has_strong[0] = False
+    return has_strong[labels]
+
+
+class BatchedAdaptivePatcher(AdaptivePatcher):
+    """APF preprocessing over whole batches of same-shape images.
+
+    A drop-in superset of :class:`AdaptivePatcher`: single-image calls behave
+    identically, and :meth:`extract_batch` processes ``B`` images at once.
+    For a fresh patcher, ``extract_batch(images)`` returns byte-identical
+    sequences to ``[AdaptivePatcher(cfg).extract(im) for im in images]`` —
+    including the random drop stream, which is consumed in image order.
+
+    Examples
+    --------
+    >>> patcher = BatchedAdaptivePatcher(APFConfig(patch_size=4))
+    >>> seqs = patcher.extract_batch(images)        # list of PatchSequence
+    """
+
+    def detail_map_batch(self, images: Sequence[np.ndarray]) -> np.ndarray:
+        """Stages 1-2 for a batch: (B, Z, Z) detail stack.
+
+        Each slice is bit-identical to ``self.detail_map(images[b])``.
+        """
+        cfg = self.config
+        scratch = _Scratch()
+        out = None
+        for i, image in enumerate(images):
+            gray = to_grayscale(np.asarray(image, dtype=np.float64))
+            z = gray.shape[0]
+            if out is None:
+                out = np.empty((len(images), z, z), dtype=np.float64)
+            elif gray.shape != out.shape[1:]:
+                raise ValueError("all images in a batch must share one shape")
+            k = cfg.blur_ksize or KSIZE_FOR_RESOLUTION.get(z, 3)
+            if k == 3 and z >= 2:
+                blurred = _blur3_exact(gray, scratch)
+            else:
+                blurred = gaussian_blur(gray, k)
+            if cfg.criterion == "canny":
+                f = blurred
+                # canny_edges rescales [0,1] inputs to the 0-255 scale.
+                if f.size and f.max() <= 1.0 + 1e-9:
+                    f = np.multiply(blurred, 255.0,
+                                    out=scratch.get("fscale", blurred.shape))
+                out[i] = _sparse_canny(f, cfg.canny_low, cfg.canny_high,
+                                       scratch)
+            else:
+                out[i] = _variance_detail(
+                    blurred, window=max(cfg.patch_size, 2)) * 16.0
+        return out
+
+    def build_tree_batch(
+            self, images: Sequence[np.ndarray]) -> List[QuadtreeLeaves]:
+        """Stage 3 for a batch: one level-synchronous build over all images."""
+        detail = self.detail_map_batch(images)
+        z = detail.shape[1]
+        cfg = self.config
+        if cfg.max_depth is None:
+            depth = int(np.log2(z // cfg.patch_size))
+        else:
+            depth = cfg.max_depth
+        trees = build_quadtree_batch(detail, cfg.split_value, depth,
+                                     min_size=cfg.patch_size)
+        if cfg.balance:
+            trees = [balance_2to1(t) for t in trees]
+        return trees
+
+    def extract_batch(self, images: Sequence[np.ndarray],
+                      trees: Optional[Sequence[QuadtreeLeaves]] = None,
+                      natural: bool = False) -> List[PatchSequence]:
+        """Full pipeline for a batch of same-shape images.
+
+        Parameters
+        ----------
+        images:
+            Sequence of (Z, Z) or (Z, Z, C) arrays, all one shape.
+        trees:
+            Optional precomputed partitions (one per image) to reuse.
+        natural:
+            Skip the pad/drop stage (like :meth:`extract_natural`).
+
+        Returns
+        -------
+        One :class:`PatchSequence` per image, in input order.
+        """
+        if len(images) == 0:
+            return []
+        if trees is None:
+            trees = self.build_tree_batch(images)
+        cfg = self.config
+        if natural and cfg.target_length is not None:
+            cfg = replace(cfg, target_length=None)
+        # Stages 4'-6 reuse the reference per-image gather: its leaf loops run
+        # over one cache-resident image at a time (streaming a stacked
+        # (B, Z, Z, C) array through the scatter-gather is slower on
+        # bandwidth-bound hosts), and ``fit_length`` consumes the shared RNG
+        # in image order — both bit-identical to the single-image loop by
+        # construction.
+        return [self.extract(im, leaves=tree, config=cfg)
+                for im, tree in zip(images, trees)]
+
+    def extract_natural_batch(
+            self, images: Sequence[np.ndarray]) -> List[PatchSequence]:
+        """Batch variant of :meth:`extract_natural` (no pad/drop stage)."""
+        return self.extract_batch(images, natural=True)

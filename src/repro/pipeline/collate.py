@@ -1,0 +1,65 @@
+"""Model-ready batch collation for patch sequences.
+
+A :class:`CollatedBatch` is the hand-off point between preprocessing and the
+models in :mod:`repro.models`: a dense ``(B, L, C·Pm²)`` token tensor plus
+the validity mask and geometry features the embedding layer consumes. The
+trainer and task adapters accept it directly, so a
+:class:`~repro.pipeline.engine.PatchPipeline` (or anything else producing
+equal-length sequences) can feed training without per-step re-patching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..models.embedding import collate_sequences
+from ..patching.sequence import PatchSequence
+
+__all__ = ["CollatedBatch", "collate_batch"]
+
+
+@dataclass
+class CollatedBatch:
+    """A batch of equal-length patch sequences, stacked for the model.
+
+    Attributes
+    ----------
+    tokens:
+        (B, L, C·Pm·Pm) float64 — flattened patches, zero at padded slots.
+    coords:
+        (B, L, 3) float64 — normalized (cy, cx, log2 size) per token.
+    valid:
+        (B, L) bool — False marks padding.
+    sequences:
+        The per-image :class:`PatchSequence` objects (geometry for scatter).
+    samples:
+        Optional originating dataset samples (for supervision targets).
+    """
+
+    tokens: np.ndarray
+    coords: np.ndarray
+    valid: np.ndarray
+    sequences: List[PatchSequence]
+    samples: Optional[list] = None
+
+    def __len__(self) -> int:
+        return len(self.sequences)
+
+    @property
+    def batch_size(self) -> int:
+        return self.tokens.shape[0]
+
+    @property
+    def length(self) -> int:
+        return self.tokens.shape[1]
+
+
+def collate_batch(seqs: Sequence[PatchSequence],
+                  samples: Optional[list] = None) -> CollatedBatch:
+    """Stack equal-length sequences into one :class:`CollatedBatch`."""
+    tokens, coords, valid = collate_sequences(seqs)
+    return CollatedBatch(tokens=tokens, coords=coords, valid=valid,
+                         sequences=list(seqs), samples=samples)

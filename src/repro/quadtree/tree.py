@@ -16,14 +16,15 @@ paper claims (§IV-G.3).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
 
 import numpy as np
 
-from .morton import morton_encode, morton_sort_order
+from .morton import morton_sort_order
 
-__all__ = ["QuadtreeLeaves", "build_quadtree", "balance_2to1", "max_depth_for"]
+__all__ = ["QuadtreeLeaves", "build_quadtree", "build_quadtree_batch",
+           "balance_2to1", "max_depth_for"]
 
 
 def max_depth_for(resolution: int, min_patch: int) -> int:
@@ -197,6 +198,93 @@ def build_quadtree(detail: np.ndarray, split_value: float, max_depth: int,
         out = QuadtreeLeaves(np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64),
                              np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64),
                              z, visited)
+    return out
+
+
+def _region_sums_batch(ii: np.ndarray, bs: np.ndarray, ys: np.ndarray,
+                       xs: np.ndarray, size: int) -> np.ndarray:
+    """Batched summed-area lookup: ``ii`` is (B, Z+1, Z+1), one row per image."""
+    y1, x1 = ys + size, xs + size
+    return ii[bs, y1, x1] - ii[bs, ys, x1] - ii[bs, y1, xs] + ii[bs, ys, xs]
+
+
+def build_quadtree_batch(details: Sequence[np.ndarray], split_value: float,
+                         max_depth: int, min_size: int = 1) -> List[QuadtreeLeaves]:
+    """Level-synchronous quadtree build over a whole batch of detail maps.
+
+    All images of the batch share one frontier: every depth issues a *single*
+    :func:`_region_sums_batch` call over the concatenated per-image node
+    coordinates, so the per-level Python/NumPy dispatch overhead is amortized
+    across the batch instead of paid per image. Each returned
+    :class:`QuadtreeLeaves` is **identical** (same leaves, same build order,
+    same ``nodes_visited``) to ``build_quadtree(details[b], ...)`` — the
+    child-block concatenation ``[NW, NE, SW, SE]`` preserves every image's
+    relative node order at each depth.
+
+    Parameters match :func:`build_quadtree`; all detail maps must share one
+    square power-of-two shape.
+    """
+    if len(details) == 0:
+        return []
+    maps = [np.asarray(d) for d in details]
+    z = maps[0].shape[0]
+    for d in maps:
+        if d.ndim != 2 or d.shape != (z, z):
+            raise ValueError("all detail maps must share one square 2-D shape")
+    if z & (z - 1):
+        raise ValueError(f"image size must be a power of two, got {z}")
+    if min_size < 1 or (min_size & (min_size - 1)):
+        raise ValueError(f"min_size must be a positive power of two, got {min_size}")
+    if split_value < 0:
+        raise ValueError("split_value must be non-negative")
+
+    b = len(maps)
+    # Per-image integral images (cache-friendly), stacked for batched lookup.
+    ii = np.empty((b, z + 1, z + 1), dtype=np.float64)
+    for i, d in enumerate(maps):
+        ii[i] = _integral(d)
+
+    leaf_bs, leaf_ys, leaf_xs, leaf_sizes, leaf_depths = [], [], [], [], []
+    bs = np.arange(b, dtype=np.int64)
+    ys = np.zeros(b, dtype=np.int64)
+    xs = np.zeros(b, dtype=np.int64)
+    size = z
+    depth = 0
+    visited = np.zeros(b, dtype=np.int64)
+    while len(bs):
+        visited += np.bincount(bs, minlength=b)
+        sums = _region_sums_batch(ii, bs, ys, xs, size)
+        can_split = (depth < max_depth) and (size // 2 >= min_size) and size > 1
+        split = (sums > split_value) if can_split else np.zeros(len(bs), dtype=bool)
+        keep = ~split
+        if keep.any():
+            leaf_bs.append(bs[keep])
+            leaf_ys.append(ys[keep])
+            leaf_xs.append(xs[keep])
+            leaf_sizes.append(np.full(int(keep.sum()), size, dtype=np.int64))
+            leaf_depths.append(np.full(int(keep.sum()), depth, dtype=np.int64))
+        if split.any():
+            sb, sy, sx = bs[split], ys[split], xs[split]
+            half = size // 2
+            # Child order NW, NE, SW, SE — same blocks as the single build.
+            bs = np.concatenate([sb, sb, sb, sb])
+            ys = np.concatenate([sy, sy, sy + half, sy + half])
+            xs = np.concatenate([sx, sx + half, sx, sx + half])
+            size = half
+            depth += 1
+        else:
+            break
+
+    all_bs = np.concatenate(leaf_bs)
+    all_ys = np.concatenate(leaf_ys)
+    all_xs = np.concatenate(leaf_xs)
+    all_sizes = np.concatenate(leaf_sizes)
+    all_depths = np.concatenate(leaf_depths)
+    out = []
+    for i in range(b):
+        idx = np.flatnonzero(all_bs == i)  # preserves level-major build order
+        out.append(QuadtreeLeaves(all_ys[idx], all_xs[idx], all_sizes[idx],
+                                  all_depths[idx], z, int(visited[i])))
     return out
 
 

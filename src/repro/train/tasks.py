@@ -10,13 +10,13 @@ trained with uniform *or* adaptive patching by swapping only the patcher
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 import numpy as np
 
 from .. import nn
 from ..metrics import dice_score, per_class_dice, top1_accuracy
-from ..patching import AdaptivePatcher, PatchSequence, UniformPatcher
+from ..patching import AdaptivePatcher, PatchSequence
 
 __all__ = ["TokenSegmentationTask", "ImageSegmentationTask", "UNETRTask",
            "SequenceClassificationTask", "ImageClassificationTask",
@@ -82,6 +82,8 @@ class TokenSegmentationTask(_SegTaskBase):
         return seq, targets
 
     def batch_loss(self, samples: Sequence) -> nn.Tensor:
+        if hasattr(samples, "tokens") and hasattr(samples, "sequences"):
+            return self._collated_loss(samples)
         seqs, targets = [], []
         for s in samples:
             seq, t = self._seq_and_targets(s)
@@ -93,6 +95,26 @@ class TokenSegmentationTask(_SegTaskBase):
         valid = np.stack([s.valid for s in seqs]).astype(np.float64)
         mask = nn.Tensor(valid[:, :, None])
         return nn.combined_bce_dice(logits * mask, y * valid[:, :, None])
+
+    def _collated_loss(self, batch) -> nn.Tensor:
+        """Loss from a pre-collated batch (pipeline pathway): patching and
+        token stacking already happened outside the gradient loop, so only
+        the label projection runs here."""
+        if batch.samples is None:
+            raise ValueError("collated batch lacks samples; collate with "
+                             "samples= to train on it")
+        if hasattr(self.patcher, "patchify_labels"):
+            patchify = self.patcher.patchify_labels
+        else:
+            patchify = AdaptivePatcher(
+                patch_size=batch.sequences[0].patch_size).patchify_labels
+        targets = np.stack([
+            patchify(s.mask, seq).reshape(len(seq), -1)
+            for s, seq in zip(batch.samples, batch.sequences)])
+        logits = self.model.forward(batch.tokens, batch.coords, batch.valid)
+        valid = batch.valid.astype(np.float64)
+        mask = nn.Tensor(valid[:, :, None])
+        return nn.combined_bce_dice(logits * mask, targets * valid[:, :, None])
 
     def val_loss(self, samples: Sequence) -> float:
         with nn.no_grad():

@@ -8,7 +8,7 @@ analyses consume (loss curves, epoch wall time, convergence epoch).
 from __future__ import annotations
 
 import time
-from typing import Callable, Optional, Sequence
+from typing import Callable, Sequence
 
 import numpy as np
 
@@ -69,6 +69,61 @@ class Trainer:
             self.optimizer.step()
             losses.append(value)
         return float(np.mean(losses))
+
+    def train_epoch_loader(self, loader) -> float:
+        """One pass over a loader that yields *pre-collated* batches.
+
+        ``loader`` is any iterable of batch objects the task's ``batch_loss``
+        accepts — typically a :class:`~repro.data.dataset.DataLoader` with a
+        ``pipeline=`` attached (yielding
+        :class:`~repro.pipeline.collate.CollatedBatch`), which moves all APF
+        preprocessing out of the gradient loop. Shuffling is the loader's
+        job; the optimizer/clip/NaN-guard machinery matches
+        :meth:`train_epoch`.
+        """
+        losses = []
+        for i, batch in enumerate(loader):
+            self.optimizer.zero_grad()
+            loss = self.task.batch_loss(batch)
+            value = float(loss.data)
+            if not np.isfinite(value):
+                raise FloatingPointError(
+                    f"non-finite training loss ({value}) at batch {i}; lower "
+                    f"the learning rate or enable gradient clipping")
+            loss.backward()
+            if self.grad_clip:
+                nn.clip_grad_norm(self.optimizer.params, self.grad_clip)
+            self.optimizer.step()
+            losses.append(value)
+        if not losses:
+            raise ValueError("loader yielded no batches")
+        return float(np.mean(losses))
+
+    def fit_loader(self, train_loader, val_samples: Sequence, epochs: int,
+                   verbose: bool = False) -> TrainingHistory:
+        """Like :meth:`fit`, but training batches come from ``train_loader``
+        (fresh iteration per epoch, so pipeline caches amortize across
+        epochs while drop augmentation stays per-epoch)."""
+        if epochs < 1:
+            raise ValueError("epochs must be >= 1")
+        if not len(val_samples):
+            raise ValueError("validation set must be non-empty")
+        history = TrainingHistory()
+        for _ in range(epochs):
+            t0 = self.time_fn()
+            train_loss = self.train_epoch_loader(train_loader)
+            val_loss = self.task.val_loss(list(val_samples))
+            metric = self.task.evaluate(list(val_samples))
+            seconds = self.time_fn() - t0
+            if self.scheduler is not None:
+                self.scheduler.step()
+            history.record(train_loss, val_loss, metric, seconds,
+                           self.optimizer.lr)
+            if verbose:  # pragma: no cover - logging only
+                print(f"epoch {len(history.train_loss):4d}  "
+                      f"train {train_loss:.4f}  val {val_loss:.4f}  "
+                      f"metric {metric:.2f}  {seconds:.2f}s")
+        return history
 
     def fit(self, train_samples: Sequence, val_samples: Sequence,
             epochs: int, verbose: bool = False) -> TrainingHistory:

@@ -1,7 +1,5 @@
 """Tests for shared experiment utilities."""
 
-import numpy as np
-import pytest
 
 from repro.experiments import ExperimentScale, format_table
 from repro.experiments.common import (ensure_nonempty_splits,

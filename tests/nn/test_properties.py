@@ -6,7 +6,6 @@ shift-invariant, layer norm is affine-invariant in the right ways.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

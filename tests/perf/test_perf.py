@@ -1,6 +1,5 @@
 """Tests for FLOP models, the α–β cost model, and equal-cost analysis."""
 
-import numpy as np
 import pytest
 
 from repro.perf import (ClusterSpec, CostModel, TransformerConfig,

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro import nn
-from repro.data import SyntheticPAIP, generate_ct_slice, generate_wsi
+from repro.data import generate_ct_slice, generate_wsi
 from repro.models import (HIPTLite, UNet, UNETR2D, ViTClassifier, ViTSegmenter)
 from repro.patching import AdaptivePatcher, UniformPatcher
 from repro.train import (ImageClassificationTask, ImageSegmentationTask,
