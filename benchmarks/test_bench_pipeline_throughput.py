@@ -28,6 +28,7 @@ import pytest
 
 from repro.data import generate_wsi
 from repro.patching import AdaptivePatcher, APFConfig
+from repro.perf import write_json_atomic
 from repro.pipeline import BatchedAdaptivePatcher, PatchPipeline
 
 BATCH = 32
@@ -125,7 +126,9 @@ def test_pipeline_throughput_and_regression_gate():
     }
     result["cache"] = {k: (round(v, 4) if isinstance(v, float) else v)
                        for k, v in result["cache"].items()}
-    RESULT_PATH.write_text(json.dumps(result, indent=2) + "\n")
+    # Atomic write: an interrupted run must not leave a truncated JSON that
+    # would poison later regression gates.
+    write_json_atomic(RESULT_PATH, result)
     print("\n" + json.dumps(result, indent=2))
 
     # -- acceptance: pipeline >= 3x the single-image loop ----------------

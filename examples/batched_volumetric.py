@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Batched volumetric APF: the 3-D pipeline end to end.
+
+Walks the full production path for volumes:
+
+1. a lazy dataset of synthetic cubic CT scans,
+2. the dimension-generic ``PatchPipeline`` over a ``VolumeAPFConfig``
+   (batched bit-identical octree kernels + LRU cache + collation),
+3. ``Trainer.fit_loader`` over ``DataLoader(pipeline=...)`` — octree
+   preprocessing runs once per volume, every epoch after the first hits
+   the cache,
+4. batched per-slice 2-D inference (``predict_volume_batched``) for the
+   paper's §IV-F2 slice-to-volume protocol.
+
+Run:  python examples/batched_volumetric.py
+"""
+
+import numpy as np
+
+from repro import nn
+from repro.data import DataLoader, SyntheticVolumes
+from repro.models import VolumeViTSegmenter
+from repro.patching import VolumeAPFConfig, VolumetricAdaptivePatcher
+from repro.pipeline import BatchedVolumetricPatcher, PatchPipeline
+from repro.train import Trainer, VolumeSegmentationTask, predict_volume_batched
+
+
+def main() -> None:
+    res, n_volumes = 32, 6
+    ds = SyntheticVolumes(res, n_volumes)
+    print(f"dataset: {n_volumes} synthetic CT volumes at {res}^3")
+
+    # -- batched engine vs the per-volume reference loop ------------------
+    cfg = VolumeAPFConfig(patch_size=4, split_value=8.0)
+    vols = [ds[i].volume for i in range(n_volumes)]
+    ref = VolumetricAdaptivePatcher(cfg)
+    batched = BatchedVolumetricPatcher(cfg)
+    singles = [ref.extract_natural(v) for v in vols]
+    seqs = batched.extract_natural_batch(vols)
+    assert all(np.array_equal(a.patches, b.patches)
+               for a, b in zip(singles, seqs))
+    uniform = (res // cfg.patch_size) ** 3
+    mean_len = np.mean([len(s) for s in seqs])
+    print(f"octree tokens       : {mean_len:.0f} vs uniform {uniform} "
+          f"({uniform / mean_len:.1f}x sequence reduction) — batched output "
+          f"bit-identical to the per-volume loop")
+
+    # -- pipeline + loader + trainer --------------------------------------
+    pipe = PatchPipeline(VolumeAPFConfig(patch_size=4, split_value=8.0,
+                                         target_length=128),
+                         cache_items=64)
+    loader = DataLoader(ds, batch_size=2, shuffle=True, pipeline=pipe)
+    model = VolumeViTSegmenter(patch_size=4, dim=32, depth=1, heads=2,
+                               max_len=1024)
+    task = VolumeSegmentationTask(model, pipe)
+    trainer = Trainer(task, nn.SGD(task.parameters(), lr=0.05))
+    history = trainer.fit_loader(loader, [ds[0]], epochs=2)
+    print(f"trained 2 epochs    : losses "
+          f"{[round(v, 4) for v in history.train_loss]}")
+    print(f"cache stats         : {pipe.stats}")
+
+    # -- batched per-slice inference (§IV-F2 protocol) --------------------
+    vol = ds[0].volume
+    threshold = lambda s: (s > 0.5).astype(int)
+    pred = predict_volume_batched(
+        lambda chunk: [threshold(s) for s in chunk], vol, batch_size=8)
+    print(f"slice-batched pred  : {pred.shape} from {vol.shape} volume")
+
+
+if __name__ == "__main__":
+    main()

@@ -7,7 +7,7 @@ substitution rationale: PAIP and BTCV are not redistributable/offline).
 """
 
 from .dataset import (DataLoader, Subset, SyntheticBTCV, SyntheticPAIP,
-                      train_val_test_split)
+                      SyntheticVolumes, train_val_test_split)
 from .synthetic_btcv import (BTCV_ORGANS, NUM_BTCV_CLASSES, BTCVSample,
                              generate_ct_slice)
 from .synthetic_paip import NUM_ORGAN_CLASSES, PAIPSample, generate_wsi
@@ -17,6 +17,6 @@ __all__ = [
     "generate_wsi", "PAIPSample", "NUM_ORGAN_CLASSES",
     "generate_ct_slice", "BTCVSample", "NUM_BTCV_CLASSES", "BTCV_ORGANS",
     "generate_ct_volume", "CTVolume",
-    "SyntheticPAIP", "SyntheticBTCV", "Subset", "train_val_test_split",
-    "DataLoader",
+    "SyntheticPAIP", "SyntheticBTCV", "SyntheticVolumes", "Subset",
+    "train_val_test_split", "DataLoader",
 ]

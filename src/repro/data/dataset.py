@@ -15,9 +15,10 @@ import numpy as np
 
 from .synthetic_btcv import BTCVSample, generate_ct_slice
 from .synthetic_paip import PAIPSample, generate_wsi
+from .synthetic_volume import CTVolume, generate_ct_volume
 
-__all__ = ["SyntheticPAIP", "SyntheticBTCV", "Subset", "train_val_test_split",
-           "DataLoader"]
+__all__ = ["SyntheticPAIP", "SyntheticBTCV", "SyntheticVolumes", "Subset",
+           "train_val_test_split", "DataLoader"]
 
 
 class SyntheticPAIP:
@@ -63,6 +64,31 @@ class SyntheticBTCV:
         subject, sl = divmod(i, self.slices)
         return generate_ct_slice(self.resolution, seed=self.base_seed + subject,
                                  slice_index=sl - self.slices // 2)
+
+
+class SyntheticVolumes:
+    """Lazy BTCV-like dataset of ``n`` cubic (Z, Z, Z) CT volumes.
+
+    The volumetric analogue of :class:`SyntheticBTCV`: each sample is a
+    :class:`~repro.data.synthetic_volume.CTVolume` whose ``image`` is the
+    cubic scan the octree patcher consumes.
+    """
+
+    def __init__(self, resolution: int, n: int, base_seed: int = 0):
+        if n < 1:
+            raise ValueError("dataset must contain at least one sample")
+        self.resolution = resolution
+        self.n = n
+        self.base_seed = base_seed
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __getitem__(self, i: int) -> CTVolume:
+        if not 0 <= i < self.n:
+            raise IndexError(i)
+        return generate_ct_volume(self.resolution, self.resolution,
+                                  seed=self.base_seed + i)
 
 
 class Subset:

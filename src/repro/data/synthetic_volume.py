@@ -24,6 +24,12 @@ class CTVolume:
     mask: np.ndarray
     subject: int
 
+    @property
+    def image(self) -> np.ndarray:
+        """Alias for :attr:`volume` — lets volume samples flow through the
+        sample-generic plumbing (``DataLoader``/``PatchPipeline``/tasks)."""
+        return self.volume
+
 
 def generate_ct_volume(resolution: int, slices: int, seed: int) -> CTVolume:
     """Generate a correlated slice stack. ``slices`` need not equal

@@ -13,11 +13,11 @@ from .swin import SwinUNETRLite
 from .transunet import TransUNetLite
 from .unet import UNet
 from .unetr import UNETR2D
-from .vit import ViTBackbone, ViTClassifier, ViTSegmenter
+from .vit import ViTBackbone, ViTClassifier, ViTSegmenter, VolumeViTSegmenter
 
 __all__ = [
     "PatchEmbedding", "collate_sequences",
-    "ViTBackbone", "ViTSegmenter", "ViTClassifier",
+    "ViTBackbone", "ViTSegmenter", "VolumeViTSegmenter", "ViTClassifier",
     "UNETR2D", "UNet", "TransUNetLite", "SwinUNETRLite", "HIPTLite",
     "scatter_tokens_to_grid", "token_index_map",
 ]

@@ -26,10 +26,15 @@ def collate_sequences(seqs: Sequence[PatchSequence]):
     All sequences must share length, patch size, and channel count (use
     ``APFConfig.target_length`` to equalize adaptive lengths).
 
+    Duck-typed over ``tokens()`` / ``coords()`` / ``valid``, so 2-D
+    :class:`PatchSequence` and 3-D
+    :class:`~repro.patching.volumetric.VolumeSequence` batches collate
+    through the same call (their coordinate widths differ: 3 vs 4).
+
     Returns
     -------
-    tokens: (B, L, C*Pm*Pm) float64
-    coords: (B, L, 3) float64
+    tokens: (B, L, C*Pm*Pm) float64 — or (B, L, Pm³) for volumes
+    coords: (B, L, 3) float64 — or (B, L, 4) for volumes
     valid:  (B, L) bool
     """
     lengths = {len(s) for s in seqs}
@@ -55,10 +60,13 @@ class PatchEmbedding(nn.Module):
         Size of the learned positional table (max sequence length).
     use_coords:
         Add a geometry embedding of (cy, cx, log2 size) — APF extension.
+    coord_dim:
+        Width of the geometry features: 3 for image sequences (default),
+        4 for volumetric sequences (cz, cy, cx, log2 size).
     """
 
     def __init__(self, token_dim: int, dim: int, max_len: int,
-                 use_coords: bool = True,
+                 use_coords: bool = True, coord_dim: int = 3,
                  rng: Optional[np.random.Generator] = None, dtype=np.float32):
         super().__init__()
         rng = rng or np.random.default_rng(0)
@@ -66,7 +74,8 @@ class PatchEmbedding(nn.Module):
         self.pos = nn.Parameter(
             (rng.normal(0, 0.02, size=(max_len, dim))).astype(dtype))
         self.use_coords = use_coords
-        self.coord_proj = nn.Linear(3, dim, rng=rng, dtype=dtype) if use_coords else None
+        self.coord_proj = (nn.Linear(coord_dim, dim, rng=rng, dtype=dtype)
+                           if use_coords else None)
         self.max_len = max_len
         self.dtype = dtype
 

@@ -16,7 +16,8 @@ from .. import nn
 from ..patching import PatchSequence
 from .embedding import PatchEmbedding, collate_sequences
 
-__all__ = ["ViTBackbone", "ViTSegmenter", "ViTClassifier"]
+__all__ = ["ViTBackbone", "ViTSegmenter", "VolumeViTSegmenter",
+           "ViTClassifier"]
 
 
 class ViTBackbone(nn.Module):
@@ -24,12 +25,13 @@ class ViTBackbone(nn.Module):
 
     def __init__(self, token_dim: int, dim: int = 64, depth: int = 4,
                  heads: int = 4, max_len: int = 1024, mlp_ratio: float = 2.0,
-                 use_coords: bool = True,
+                 use_coords: bool = True, coord_dim: int = 3,
                  rng: Optional[np.random.Generator] = None, dtype=np.float32):
         super().__init__()
         rng = rng or np.random.default_rng(0)
         self.embed = PatchEmbedding(token_dim, dim, max_len,
-                                    use_coords=use_coords, rng=rng, dtype=dtype)
+                                    use_coords=use_coords, coord_dim=coord_dim,
+                                    rng=rng, dtype=dtype)
         self.encoder = nn.TransformerEncoder(dim, depth, heads, mlp_ratio,
                                              rng=rng, dtype=dtype)
         self.dim = dim
@@ -81,6 +83,52 @@ class ViTSegmenter(nn.Module):
         token_maps = logits.data[0].reshape(len(seq), k, pm, pm)
         probs = 1.0 / (1.0 + np.exp(-token_maps))
         return seq.scatter_to_image(probs)
+
+
+class VolumeViTSegmenter(nn.Module):
+    """ViT with a per-token segmentation head over octree cube tokens.
+
+    The volumetric counterpart of :class:`ViTSegmenter`: each token predicts
+    a ``Pm³`` logit cube for its own footprint, supervised at token level
+    (targets from ``VolumetricAdaptivePatcher.patchify_labels``); full
+    volumes are reconstructed by scattering token predictions back through
+    the octree geometry. The backbone is the same unmodified ViT — only the
+    token and coordinate widths change (``Pm³`` and 4).
+    """
+
+    def __init__(self, patch_size: int, dim: int = 64, depth: int = 4,
+                 heads: int = 4, max_len: int = 1024, out_channels: int = 1,
+                 use_coords: bool = True,
+                 rng: Optional[np.random.Generator] = None, dtype=np.float32):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        token_dim = patch_size ** 3
+        self.backbone = ViTBackbone(token_dim, dim, depth, heads, max_len,
+                                    use_coords=use_coords, coord_dim=4,
+                                    rng=rng, dtype=dtype)
+        self.head = nn.Linear(dim, out_channels * token_dim, rng=rng,
+                              dtype=dtype)
+        self.patch_size = patch_size
+        self.out_channels = out_channels
+
+    def forward(self, tokens: np.ndarray, coords=None, valid=None) -> nn.Tensor:
+        """Token logits of shape (B, L, out_channels * Pm³)."""
+        return self.head(self.backbone(tokens, coords, valid))
+
+    def forward_sequences(self, seqs: Sequence) -> nn.Tensor:
+        tokens, coords, valid = collate_sequences(seqs)
+        return self.forward(tokens, coords, valid)
+
+    def predict_volume_probs(self, seq) -> np.ndarray:
+        """Inference: full-resolution (Z, Z, Z) probability volume (the
+        first output channel, scattered through the octree geometry)."""
+        with nn.no_grad():
+            logits = self.forward_sequences([seq])
+        pm = self.patch_size
+        token_maps = logits.data[0].reshape(len(seq), self.out_channels,
+                                            pm, pm, pm)
+        probs = 1.0 / (1.0 + np.exp(-token_maps[:, 0]))
+        return seq.scatter_to_volume(probs)
 
 
 class ViTClassifier(nn.Module):

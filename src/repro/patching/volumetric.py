@@ -5,11 +5,16 @@ same blur→detail→tree→Morton→downscale pipeline, with cubes instead of
 squares. Detail is gradient-magnitude density (a 3-D Canny is ill-defined;
 gradient energy is the standard surrogate). Tokens are ``Pm^3`` cubes
 flattened to ``C*Pm^3`` vectors — consumable by the same ViT backbone.
+
+Like the 2-D :class:`~repro.patching.adaptive.AdaptivePatcher`, the patcher
+supports a fixed sequence length (``target_length``) via random drop /
+zero-pad, so volumes batch into the same ``(B, L, Pm^3)`` collated tensors
+the pipeline produces for images.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field, replace
 from typing import Optional
 
 import numpy as np
@@ -22,7 +27,11 @@ __all__ = ["VolumeAPFConfig", "VolumetricAdaptivePatcher", "VolumeSequence"]
 
 @dataclass
 class VolumeSequence:
-    """Model-ready sequence of same-size cubic patches + geometry."""
+    """Model-ready sequence of same-size cubic patches + geometry.
+
+    Mirrors :class:`~repro.patching.sequence.PatchSequence` for volumes:
+    padded slots (``valid == False``) carry zero patches and ``sizes == 0``.
+    """
 
     patches: np.ndarray            #: (L, Pm, Pm, Pm)
     zs: np.ndarray
@@ -31,6 +40,19 @@ class VolumeSequence:
     sizes: np.ndarray
     volume_size: int
     patch_size: int
+    valid: np.ndarray = field(default=None)  # type: ignore[assignment]
+    n_real: int = -1
+    n_dropped: int = 0
+
+    def __post_init__(self) -> None:
+        if self.valid is None:
+            self.valid = np.ones(len(self.patches), dtype=bool)
+        if self.n_real < 0:
+            self.n_real = len(self.patches)
+        lengths = {len(self.patches), len(self.zs), len(self.ys),
+                   len(self.xs), len(self.sizes), len(self.valid)}
+        if len(lengths) != 1:
+            raise ValueError(f"inconsistent sequence field lengths: {lengths}")
 
     def __len__(self) -> int:
         return len(self.patches)
@@ -39,25 +61,31 @@ class VolumeSequence:
         return self.patches.reshape(len(self), -1)
 
     def coords(self) -> np.ndarray:
-        """(L, 4): normalized center (z, y, x) + log2 size."""
+        """(L, 4): normalized center (z, y, x) + log2 size; zeros at padding."""
         n = float(self.volume_size)
-        c = np.stack([
-            (self.zs + self.sizes / 2) / n,
-            (self.ys + self.sizes / 2) / n,
-            (self.xs + self.sizes / 2) / n,
-            np.log2(np.maximum(self.sizes, 1)) / max(np.log2(n), 1.0),
-        ], axis=1)
-        return c
+        out = np.zeros((len(self), 4), dtype=np.float64)
+        v = self.valid
+        out[v, 0] = (self.zs[v] + self.sizes[v] / 2) / n
+        out[v, 1] = (self.ys[v] + self.sizes[v] / 2) / n
+        out[v, 2] = (self.xs[v] + self.sizes[v] / 2) / n
+        out[v, 3] = (np.log2(np.maximum(self.sizes[v], 1))
+                     / max(np.log2(n), 1.0))
+        return out
+
+    def coverage_fraction(self) -> float:
+        """Fraction of volume covered by retained (non-dropped) tokens."""
+        vol = float((self.sizes[self.valid].astype(np.int64) ** 3).sum())
+        return vol / float(self.volume_size) ** 3
 
     def scatter_to_volume(self, token_values: np.ndarray,
                           fill: float = 0.0) -> np.ndarray:
         """Broadcast per-token scalars (L,) or cubes (L, Pm, Pm, Pm) back
-        onto the (Z, Z, Z) volume."""
+        onto the (Z, Z, Z) volume. Padded/dropped regions keep ``fill``."""
         tv = np.asarray(token_values)
         n = self.volume_size
         out = np.full((n, n, n), fill, dtype=np.float64)
         pm = self.patch_size
-        for i in range(len(self)):
+        for i in np.flatnonzero(self.valid):
             s = int(self.sizes[i])
             z, y, x = int(self.zs[i]), int(self.ys[i]), int(self.xs[i])
             if tv.ndim == 1:
@@ -82,6 +110,13 @@ class VolumeAPFConfig:
     blur_sigma: float = 1.0
     #: Quantile of gradient magnitude counted as "detail" (edge surrogate).
     detail_quantile: float = 0.97
+    #: Fixed sequence length L. None keeps the natural length (no pad/drop).
+    target_length: Optional[int] = None
+    #: Over-length policy: "random" drops uniformly; "coarsest-first" drops
+    #: the largest (least detailed) cubes first.
+    drop_strategy: str = "random"
+    #: RNG seed for the random drop/pad step.
+    seed: int = 0
 
     def __post_init__(self) -> None:
         p = self.patch_size
@@ -89,6 +124,8 @@ class VolumeAPFConfig:
             raise ValueError(f"patch_size must be a positive power of two, got {p}")
         if not 0.0 < self.detail_quantile < 1.0:
             raise ValueError("detail_quantile must be in (0, 1)")
+        if self.drop_strategy not in ("random", "coarsest-first"):
+            raise ValueError(f"unknown drop strategy {self.drop_strategy!r}")
 
 
 class VolumetricAdaptivePatcher:
@@ -100,6 +137,7 @@ class VolumetricAdaptivePatcher:
         elif overrides:
             raise ValueError("pass either a config object or keyword overrides")
         self.config = config
+        self._rng = np.random.default_rng(config.seed)
 
     def detail_map(self, volume: np.ndarray) -> np.ndarray:
         """Gradient-magnitude detail mask (3-D edge surrogate)."""
@@ -124,10 +162,22 @@ class VolumetricAdaptivePatcher:
     def __call__(self, volume: np.ndarray) -> VolumeSequence:
         return self.extract(volume)
 
-    def extract(self, volume: np.ndarray) -> VolumeSequence:
+    def extract(self, volume: np.ndarray,
+                leaves: Optional[OctreeLeaves] = None,
+                config: Optional[VolumeAPFConfig] = None) -> VolumeSequence:
+        """Full pipeline: volume → model-ready :class:`VolumeSequence`.
+
+        ``leaves`` may be supplied to reuse a tree (e.g. to patchify a label
+        volume with the same partition). ``config`` overrides ``self.config``
+        for this call only — the shared config is never mutated, so
+        concurrent callers are safe.
+        """
         v = np.asarray(volume, dtype=np.float64)
-        leaves = self.build_tree(v).sorted_by_morton()
-        pm = self.config.patch_size
+        if leaves is None:
+            leaves = self.build_tree(v)
+        cfg = config if config is not None else self.config
+        leaves = leaves.sorted_by_morton()
+        pm = cfg.patch_size
         n = len(leaves)
         patches = np.zeros((n, pm, pm, pm), dtype=np.float64)
         for s in np.unique(leaves.sizes):
@@ -141,6 +191,77 @@ class VolumetricAdaptivePatcher:
                     f = s // pm
                     cube = cube.reshape(pm, f, pm, f, pm, f).mean(axis=(1, 3, 5))
                 patches[i] = cube
-        return VolumeSequence(patches, leaves.zs.copy(), leaves.ys.copy(),
-                              leaves.xs.copy(), leaves.sizes.copy(),
-                              v.shape[0], pm)
+        seq = VolumeSequence(patches, leaves.zs.copy(), leaves.ys.copy(),
+                             leaves.xs.copy(), leaves.sizes.copy(),
+                             v.shape[0], pm)
+        if cfg.target_length is not None:
+            seq = self.fit_length(seq, cfg.target_length)
+        return seq
+
+    def extract_natural(self, volume: np.ndarray) -> VolumeSequence:
+        """Full pipeline *without* the pad/drop step (inference path)."""
+        cfg = self.config
+        if cfg.target_length is None:
+            return self.extract(volume)
+        return self.extract(volume, config=replace(cfg, target_length=None))
+
+    def fit_length(self, seq: VolumeSequence, length: int,
+                   rng: Optional[np.random.Generator] = None) -> VolumeSequence:
+        """Randomly drop (too long) or zero-pad (too short) to ``length``.
+
+        Mirrors :meth:`AdaptivePatcher.fit_length`: ``rng`` overrides the
+        patcher's own stream so pipeline callers get per-volume generators
+        independent of worker count.
+        """
+        rng = rng if rng is not None else self._rng
+        n = len(seq)
+        if n == length:
+            return seq
+        if n > length:
+            if self.config.drop_strategy == "coarsest-first":
+                jitter = rng.random(n)
+                priority = np.lexsort((jitter, -seq.sizes))  # big cubes first
+                keep = np.sort(priority[n - length:])
+            else:
+                keep = np.sort(rng.choice(n, size=length, replace=False))
+            return VolumeSequence(
+                patches=seq.patches[keep], zs=seq.zs[keep], ys=seq.ys[keep],
+                xs=seq.xs[keep], sizes=seq.sizes[keep],
+                volume_size=seq.volume_size, patch_size=seq.patch_size,
+                valid=seq.valid[keep], n_real=seq.n_real,
+                n_dropped=n - length,
+            )
+        pad = length - n
+        pm = seq.patch_size
+        return VolumeSequence(
+            patches=np.concatenate([seq.patches, np.zeros((pad, pm, pm, pm))]),
+            zs=np.concatenate([seq.zs, np.zeros(pad, dtype=np.int64)]),
+            ys=np.concatenate([seq.ys, np.zeros(pad, dtype=np.int64)]),
+            xs=np.concatenate([seq.xs, np.zeros(pad, dtype=np.int64)]),
+            sizes=np.concatenate([seq.sizes, np.zeros(pad, dtype=np.int64)]),
+            volume_size=seq.volume_size, patch_size=seq.patch_size,
+            valid=np.concatenate([seq.valid, np.zeros(pad, dtype=bool)]),
+            n_real=seq.n_real, n_dropped=seq.n_dropped,
+        )
+
+    def patchify_labels(self, mask: np.ndarray, seq: VolumeSequence) -> np.ndarray:
+        """Project a full-resolution label volume onto the token layout.
+
+        Returns (L, 1, Pm, Pm, Pm) soft targets: each cube's mask region is
+        area-downscaled to Pm, aligning supervision with the inputs. Padded
+        slots are zeros.
+        """
+        m = np.asarray(mask, dtype=np.float64)
+        if m.ndim != 3:
+            raise ValueError(f"expected a 3-D mask, got shape {m.shape}")
+        pm = seq.patch_size
+        out = np.zeros((len(seq), 1, pm, pm, pm), dtype=np.float64)
+        for i in np.flatnonzero(seq.valid):
+            s = int(seq.sizes[i])
+            z, y, x = int(seq.zs[i]), int(seq.ys[i]), int(seq.xs[i])
+            region = m[z:z + s, y:y + s, x:x + s]
+            if s > pm:
+                f = s // pm
+                region = region.reshape(pm, f, pm, f, pm, f).mean(axis=(1, 3, 5))
+            out[i, 0] = region
+        return out

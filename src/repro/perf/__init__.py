@@ -1,5 +1,7 @@
-"""``repro.perf`` — FLOP/memory models, α–β cost model, equal-cost analysis."""
+"""``repro.perf`` — FLOP/memory models, α–β cost model, equal-cost analysis,
+and crash-safe benchmark artifact I/O."""
 
+from .artifacts import write_json_atomic
 from .costmodel import ClusterSpec, CostModel
 from .equivalence import (apf_length_curve, equal_cost_patch_size,
                           equivalent_sequence_gain)
@@ -11,4 +13,5 @@ __all__ = [
     "activation_bytes", "attention_memory_bytes",
     "ClusterSpec", "CostModel",
     "apf_length_curve", "equal_cost_patch_size", "equivalent_sequence_gain",
+    "write_json_atomic",
 ]

@@ -1,0 +1,42 @@
+"""Crash-safe benchmark artifact I/O.
+
+Benchmark runs persist their results (and regression baselines) as JSON
+next to the bench files. A plain ``write_text`` can leave a truncated file
+behind if the run is interrupted mid-write — which would then poison every
+later regression gate that parses the baseline. :func:`write_json_atomic`
+writes to a temporary file in the same directory and renames it into place:
+``os.replace`` is atomic on POSIX and Windows, so readers only ever observe
+the old or the new complete document.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Union
+
+__all__ = ["write_json_atomic"]
+
+
+def write_json_atomic(path: Union[str, Path], payload) -> None:
+    """Serialize ``payload`` as JSON to ``path`` via write-temp-then-rename.
+
+    The temporary file lives in the target's directory (renames across
+    filesystems are not atomic) and is removed if serialization fails.
+    """
+    path = Path(path)
+    text = json.dumps(payload, indent=2) + "\n"
+    fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=path.name + ".",
+                               suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as fh:
+            fh.write(text)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise

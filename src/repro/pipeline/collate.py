@@ -1,24 +1,34 @@
-"""Model-ready batch collation for patch sequences.
+"""Model-ready batch collation for patch sequences — 2-D or 3-D.
 
 A :class:`CollatedBatch` is the hand-off point between preprocessing and the
-models in :mod:`repro.models`: a dense ``(B, L, C·Pm²)`` token tensor plus
-the validity mask and geometry features the embedding layer consumes. The
-trainer and task adapters accept it directly, so a
+models in :mod:`repro.models`: a dense token tensor — ``(B, L, C·Pm²)`` for
+image sequences, ``(B, L, Pm³)`` for volume sequences — plus the validity
+mask and geometry features the embedding layer consumes. The trainer and
+task adapters accept it directly, so a
 :class:`~repro.pipeline.engine.PatchPipeline` (or anything else producing
 equal-length sequences) can feed training without per-step re-patching.
+
+Collation is duck-typed over ``tokens()`` / ``coords()`` / ``valid``, so
+:class:`~repro.patching.sequence.PatchSequence` and
+:class:`~repro.patching.volumetric.VolumeSequence` flow through identically
+(their coordinate features differ in width: 3 for images, 4 for volumes).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
 from ..models.embedding import collate_sequences
 from ..patching.sequence import PatchSequence
+from ..patching.volumetric import VolumeSequence
 
 __all__ = ["CollatedBatch", "collate_batch"]
+
+#: Anything the collator accepts: same-length sequences with geometry.
+AnySequence = Union[PatchSequence, VolumeSequence]
 
 
 @dataclass
@@ -28,13 +38,16 @@ class CollatedBatch:
     Attributes
     ----------
     tokens:
-        (B, L, C·Pm·Pm) float64 — flattened patches, zero at padded slots.
+        (B, L, C·Pm·Pm) — or (B, L, Pm³) for volumes — float64 flattened
+        patches, zero at padded slots.
     coords:
-        (B, L, 3) float64 — normalized (cy, cx, log2 size) per token.
+        (B, L, 3) float64 — normalized (cy, cx, log2 size) per token — or
+        (B, L, 4) with (cz, cy, cx, log2 size) for volumes.
     valid:
         (B, L) bool — False marks padding.
     sequences:
-        The per-image :class:`PatchSequence` objects (geometry for scatter).
+        The per-item :class:`PatchSequence` / :class:`VolumeSequence`
+        objects (geometry for scatter).
     samples:
         Optional originating dataset samples (for supervision targets).
     """
@@ -42,7 +55,7 @@ class CollatedBatch:
     tokens: np.ndarray
     coords: np.ndarray
     valid: np.ndarray
-    sequences: List[PatchSequence]
+    sequences: List[AnySequence]
     samples: Optional[list] = None
 
     def __len__(self) -> int:
@@ -57,7 +70,7 @@ class CollatedBatch:
         return self.tokens.shape[1]
 
 
-def collate_batch(seqs: Sequence[PatchSequence],
+def collate_batch(seqs: Sequence[AnySequence],
                   samples: Optional[list] = None) -> CollatedBatch:
     """Stack equal-length sequences into one :class:`CollatedBatch`."""
     tokens, coords, valid = collate_sequences(seqs)

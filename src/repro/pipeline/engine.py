@@ -1,7 +1,7 @@
 """The batched APF serving/training front-end.
 
-:class:`PatchPipeline` wraps :class:`BatchedAdaptivePatcher` with the three
-things a real workload needs on top of raw batch kernels:
+:class:`PatchPipeline` wraps the batched patchers with the three things a
+real workload needs on top of raw batch kernels:
 
 * an **LRU sequence cache** (:class:`~repro.patching.cache.LRUPatchCache`)
   keyed on caller ids or image content hashes — the natural (pre-drop)
@@ -11,8 +11,15 @@ things a real workload needs on top of raw batch kernels:
 * a **worker pool** (``workers=N``, thread- or process-based) that shards
   cache misses into sub-batches — workers only compute deterministic natural
   sequences, so results are identical for any worker count;
-* **collation** to a fixed length ``L`` with per-image seeded drop/pad,
+* **collation** to a fixed length ``L`` with per-item seeded drop/pad,
   producing the ``(B, L, C·Pm²)`` tensor + validity mask the models consume.
+
+The pipeline is **dimension-generic**: construct it with an
+:class:`~repro.patching.adaptive.APFConfig` for 2-D images (quadtree APF) or
+a :class:`~repro.patching.volumetric.VolumeAPFConfig` for 3-D volumes
+(octree APF) — cache, workers, and collation behave identically, and
+volumetric batches collate to ``(B, L, Pm³)`` tokens with (z, y, x, scale)
+coordinates.
 """
 
 from __future__ import annotations
@@ -20,16 +27,18 @@ from __future__ import annotations
 import hashlib
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Hashable, List, Optional, Sequence
+from typing import Hashable, List, Optional, Sequence, Union
 
 import numpy as np
 
 from ..patching.adaptive import APFConfig
 from ..patching.cache import LRUPatchCache
 from ..patching.sequence import PatchSequence
+from ..patching.volumetric import VolumeAPFConfig
 from ..train.tasks import prepare_image
 from .batched import BatchedAdaptivePatcher
 from .collate import CollatedBatch, collate_batch
+from .volumetric import BatchedVolumetricPatcher
 
 __all__ = ["PatchPipeline"]
 
@@ -53,10 +62,12 @@ def _content_key(image: np.ndarray) -> Hashable:
             hashlib.blake2b(a.tobytes(), digest_size=16).hexdigest())
 
 
-def _extract_shard(config: APFConfig, images: List[np.ndarray]
-                   ) -> List[PatchSequence]:
+def _extract_shard(config: Union[APFConfig, VolumeAPFConfig],
+                   images: List[np.ndarray]) -> List[PatchSequence]:
     """Worker entry point: natural sequences for one shard (picklable)."""
-    return BatchedAdaptivePatcher(config).extract_natural_batch(images)
+    cls = (BatchedVolumetricPatcher if isinstance(config, VolumeAPFConfig)
+           else BatchedAdaptivePatcher)
+    return cls(config).extract_natural_batch(images)
 
 
 class PatchPipeline:
@@ -65,7 +76,9 @@ class PatchPipeline:
     Parameters
     ----------
     config:
-        The :class:`APFConfig` (or keyword overrides) shared by all workers.
+        The :class:`APFConfig` (2-D quadtree APF) or :class:`VolumeAPFConfig`
+        (3-D octree APF) shared by all workers; keyword overrides construct
+        an :class:`APFConfig`.
     workers:
         0 runs in-process; ``N > 0`` shards cache misses over ``N`` workers.
     executor:
@@ -76,30 +89,44 @@ class PatchPipeline:
     channels:
         If set, images are channel-adapted (grayscale/replicate) before
         patching — matches what the task adapters feed their models.
+        2-D only: volumes are single-channel by construction.
 
     Examples
     --------
     >>> pipe = PatchPipeline(patch_size=4, split_value=8.0, target_length=256)
     >>> batch = pipe.collate([s.image for s in samples])   # CollatedBatch
     >>> logits = model.forward(batch.tokens, batch.coords, batch.valid)
+
+    >>> vpipe = PatchPipeline(VolumeAPFConfig(target_length=256))
+    >>> vbatch = vpipe.collate(volumes)        # tokens (B, 256, Pm³)
     """
 
-    def __init__(self, config: Optional[APFConfig] = None, *,
-                 workers: int = 0, executor: str = "thread",
+    def __init__(self, config: Optional[Union[APFConfig, VolumeAPFConfig]] = None,
+                 *, workers: int = 0, executor: str = "thread",
                  cache_items: int = 1024, channels: Optional[int] = None,
                  **overrides):
         if workers < 0:
             raise ValueError("workers must be >= 0")
         if executor not in ("thread", "process"):
             raise ValueError(f"unknown executor {executor!r}")
-        self.patcher = BatchedAdaptivePatcher(config, **overrides)
+        self.volumetric = isinstance(config, VolumeAPFConfig)
+        if self.volumetric:
+            if overrides:
+                raise ValueError("pass either a config object or keyword "
+                                 "overrides")
+            if channels is not None:
+                raise ValueError("channels= does not apply to volumetric "
+                                 "pipelines (volumes are single-channel)")
+            self.patcher = BatchedVolumetricPatcher(config)
+        else:
+            self.patcher = BatchedAdaptivePatcher(config, **overrides)
         self.workers = workers
         self.executor = executor
         self.cache = LRUPatchCache(cache_items) if cache_items else None
         self.channels = channels
 
     @property
-    def config(self) -> APFConfig:
+    def config(self) -> Union[APFConfig, VolumeAPFConfig]:
         return self.patcher.config
 
     # -- core ------------------------------------------------------------
@@ -151,10 +178,12 @@ class PatchPipeline:
         return out  # type: ignore[return-value]
 
     def __call__(self, images, keys: Optional[Sequence[Hashable]] = None):
-        """Batch call → list of sequences; single (Z, Z[, C]) array → one
-        sequence with drop/pad applied (drop-in for the task adapters, same
-        contract as :class:`~repro.patching.cache.CachingPatcher`)."""
-        if isinstance(images, np.ndarray) and images.ndim in (2, 3):
+        """Batch call → list of sequences; a single array — (Z, Z[, C]) for
+        images, (Z, Z, Z) for volumes — → one sequence with drop/pad applied
+        (drop-in for the task adapters, same contract as
+        :class:`~repro.patching.cache.CachingPatcher`)."""
+        single_ndim = (3,) if self.volumetric else (2, 3)
+        if isinstance(images, np.ndarray) and images.ndim in single_ndim:
             return self.extract(images, key=keys)
         return self.process(images, keys)
 

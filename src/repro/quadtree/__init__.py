@@ -6,8 +6,8 @@
 
 from .hilbert import hilbert_decode, hilbert_encode, hilbert_sort_order
 from .morton import morton_decode, morton_encode, morton_sort_order
-from .octree import (OctreeLeaves, build_octree, morton3d_decode,
-                     morton3d_encode)
+from .octree import (OctreeLeaves, build_octree, build_octree_batch,
+                     morton3d_decode, morton3d_encode)
 from .tree import (QuadtreeLeaves, balance_2to1, build_quadtree,
                    build_quadtree_batch, max_depth_for)
 
@@ -15,6 +15,7 @@ __all__ = [
     "morton_encode", "morton_decode", "morton_sort_order",
     "hilbert_encode", "hilbert_decode", "hilbert_sort_order",
     "morton3d_encode", "morton3d_decode", "OctreeLeaves", "build_octree",
+    "build_octree_batch",
     "QuadtreeLeaves", "build_quadtree", "build_quadtree_batch",
     "balance_2to1", "max_depth_for",
 ]

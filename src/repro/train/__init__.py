@@ -5,12 +5,15 @@ from .checkpoint import load_checkpoint, save_checkpoint
 from .history import TrainingHistory
 from .tasks import (ImageClassificationTask, ImageSegmentationTask,
                     SequenceClassificationTask, TokenSegmentationTask,
-                    UNETRTask, prepare_image)
+                    UNETRTask, VolumeSegmentationTask, prepare_image)
 from .trainer import Trainer
-from .volumetric import predict_volume, slices_to_volume_task, volume_dice
+from .volumetric import (predict_volume, predict_volume_batched,
+                         slices_to_volume_task, volume_dice)
 
 __all__ = ["Trainer", "TrainingHistory", "TokenSegmentationTask",
+           "VolumeSegmentationTask",
            "ImageSegmentationTask", "UNETRTask", "SequenceClassificationTask",
            "ImageClassificationTask", "prepare_image",
            "save_checkpoint", "load_checkpoint",
-           "predict_volume", "volume_dice", "slices_to_volume_task"]
+           "predict_volume", "predict_volume_batched", "volume_dice",
+           "slices_to_volume_task"]

@@ -18,7 +18,8 @@ from .. import nn
 from ..metrics import dice_score, per_class_dice, top1_accuracy
 from ..patching import AdaptivePatcher, PatchSequence
 
-__all__ = ["TokenSegmentationTask", "ImageSegmentationTask", "UNETRTask",
+__all__ = ["TokenSegmentationTask", "VolumeSegmentationTask",
+           "ImageSegmentationTask", "UNETRTask",
            "SequenceClassificationTask", "ImageClassificationTask",
            "prepare_image"]
 
@@ -131,6 +132,74 @@ def _natural_sequence(patcher, img):
     if hasattr(patcher, "extract_natural"):
         return patcher.extract_natural(img)
     return patcher(img)
+
+
+class VolumeSegmentationTask:
+    """VolumeViTSegmenter supervised at token level over octree cubes.
+
+    The 3-D counterpart of :class:`TokenSegmentationTask`: samples carry a
+    cubic ``image`` volume and an aligned integer ``mask`` (binarized to
+    foreground for supervision). ``patcher`` is a
+    :class:`~repro.patching.volumetric.VolumetricAdaptivePatcher` or a
+    volumetric :class:`~repro.pipeline.engine.PatchPipeline` — the collated
+    pathway (``Trainer.fit_loader`` over a ``DataLoader(pipeline=)``) moves
+    all octree preprocessing out of the gradient loop.
+    """
+
+    def __init__(self, model, patcher):
+        self.model = model
+        self.patcher = patcher
+
+    def parameters(self):
+        return self.model.parameters()
+
+    @staticmethod
+    def _binary_mask(mask: np.ndarray) -> np.ndarray:
+        return (np.asarray(mask) > 0).astype(np.float64)
+
+    def _masked_loss(self, logits, targets: np.ndarray,
+                     valid: np.ndarray) -> nn.Tensor:
+        v = valid.astype(np.float64)
+        mask = nn.Tensor(v[:, :, None])
+        return nn.combined_bce_dice(logits * mask, targets * v[:, :, None])
+
+    def batch_loss(self, samples) -> nn.Tensor:
+        if hasattr(samples, "tokens") and hasattr(samples, "sequences"):
+            return self._collated_loss(samples)
+        seqs, targets = [], []
+        for s in samples:
+            seq = self.patcher(np.asarray(s.image, dtype=np.float64))
+            t = self.patcher.patchify_labels(self._binary_mask(s.mask), seq)
+            seqs.append(seq)
+            targets.append(t.reshape(len(seq), -1))
+        logits = self.model.forward_sequences(seqs)
+        valid = np.stack([s.valid for s in seqs])
+        return self._masked_loss(logits, np.stack(targets), valid)
+
+    def _collated_loss(self, batch) -> nn.Tensor:
+        if batch.samples is None:
+            raise ValueError("collated batch lacks samples; collate with "
+                             "samples= to train on it")
+        targets = np.stack([
+            self.patcher.patchify_labels(self._binary_mask(s.mask),
+                                         seq).reshape(len(seq), -1)
+            for s, seq in zip(batch.samples, batch.sequences)])
+        logits = self.model.forward(batch.tokens, batch.coords, batch.valid)
+        return self._masked_loss(logits, targets, batch.valid)
+
+    def val_loss(self, samples) -> float:
+        with nn.no_grad():
+            return float(self.batch_loss(samples).data)
+
+    def evaluate(self, samples) -> float:
+        """Mean foreground dice (%) over whole volumes."""
+        scores = []
+        for s in samples:
+            seq = _natural_sequence(self.patcher,
+                                    np.asarray(s.image, dtype=np.float64))
+            probs = self.model.predict_volume_probs(seq)
+            scores.append(dice_score(probs, self._binary_mask(s.mask)))
+        return float(np.mean(scores))
 
 
 class ImageSegmentationTask(_SegTaskBase):

@@ -95,3 +95,82 @@ class TestVolumetricPatcher:
                             max_len=len(seq), use_coords=False)
         out = model(seq.tokens()[None].astype(np.float32))
         assert out.shape == (1, len(seq), 16)
+
+
+class TestFitLength:
+    def test_drop_to_target(self, ct):
+        p = VolumetricAdaptivePatcher(patch_size=4, split_value=8.0,
+                                      target_length=20)
+        seq = p(ct.volume)
+        assert len(seq) == 20
+        assert seq.valid.all()
+        assert seq.n_dropped == seq.n_real - 20
+        assert seq.coverage_fraction() < 1.0
+
+    def test_pad_to_target(self, ct):
+        p = VolumetricAdaptivePatcher(patch_size=4, split_value=8.0,
+                                      target_length=4096)
+        seq = p(ct.volume)
+        assert len(seq) == 4096
+        assert not seq.valid.all()
+        assert seq.n_dropped == 0
+        # Padded slots: zero patches, zero sizes, zero coords.
+        pad = ~seq.valid
+        assert np.all(seq.patches[pad] == 0.0)
+        assert np.all(seq.sizes[pad] == 0)
+        assert np.all(seq.coords()[pad] == 0.0)
+
+    def test_extract_natural_skips_drop(self, ct):
+        p = VolumetricAdaptivePatcher(patch_size=4, split_value=8.0,
+                                      target_length=20)
+        nat = p.extract_natural(ct.volume)
+        assert len(nat) != 20
+        assert nat.valid.all()
+        assert p.config.target_length == 20   # shared config untouched
+
+    def test_coarsest_first_drops_large_cubes(self, ct):
+        p = VolumetricAdaptivePatcher(patch_size=4, split_value=8.0,
+                                      drop_strategy="coarsest-first")
+        nat = p.extract_natural(ct.volume)
+        target = len(nat) - 5
+        fitted = p.fit_length(nat, target)
+        # The retained set keeps the smallest (most detailed) cubes.
+        assert fitted.sizes.max() <= nat.sizes.max()
+        assert sorted(fitted.sizes)[:target] == sorted(nat.sizes)[:target]
+
+    def test_explicit_rng_overrides_stream(self, ct):
+        p = VolumetricAdaptivePatcher(patch_size=4, split_value=8.0)
+        nat = p.extract_natural(ct.volume)
+        a = p.fit_length(nat, 20, rng=np.random.default_rng(3))
+        b = p.fit_length(nat, 20, rng=np.random.default_rng(3))
+        np.testing.assert_array_equal(a.zs, b.zs)
+
+    def test_bad_drop_strategy(self):
+        with pytest.raises(ValueError):
+            VolumeAPFConfig(drop_strategy="mystery")
+
+
+class TestPatchifyLabels:
+    def test_shapes_and_alignment(self, ct):
+        p = VolumetricAdaptivePatcher(patch_size=4, split_value=8.0)
+        seq = p(ct.volume)
+        targets = p.patchify_labels((ct.mask > 0).astype(float), seq)
+        assert targets.shape == (len(seq), 1, 4, 4, 4)
+        assert targets.min() >= 0.0 and targets.max() <= 1.0
+        # Scattering the targets back reconstructs the mask's mean exactly
+        # at leaf granularity.
+        rec = seq.scatter_to_volume(targets[:, 0])
+        assert rec.mean() == pytest.approx((ct.mask > 0).mean(), rel=1e-9)
+
+    def test_padded_slots_zero(self, ct):
+        p = VolumetricAdaptivePatcher(patch_size=4, split_value=8.0,
+                                      target_length=2048)
+        seq = p(ct.volume)
+        targets = p.patchify_labels((ct.mask > 0).astype(float), seq)
+        assert np.all(targets[~seq.valid] == 0.0)
+
+    def test_rejects_2d_mask(self, ct):
+        p = VolumetricAdaptivePatcher(patch_size=4, split_value=8.0)
+        seq = p(ct.volume)
+        with pytest.raises(ValueError):
+            p.patchify_labels(np.zeros((32, 32)), seq)

@@ -1,0 +1,42 @@
+"""Tests for crash-safe benchmark artifact writes."""
+
+import json
+import os
+
+import pytest
+
+from repro.perf import write_json_atomic
+
+
+class TestWriteJsonAtomic:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        payload = {"speedup": 4.2, "nested": {"a": [1, 2, 3]}}
+        write_json_atomic(path, payload)
+        assert json.loads(path.read_text()) == payload
+        assert path.read_text().endswith("\n")
+
+    def test_overwrites_existing(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        write_json_atomic(path, {"v": 1})
+        write_json_atomic(path, {"v": 2})
+        assert json.loads(path.read_text()) == {"v": 2}
+
+    def test_no_temp_file_left_behind(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        write_json_atomic(path, {"v": 1})
+        assert os.listdir(tmp_path) == ["BENCH_x.json"]
+
+    def test_unserializable_payload_keeps_old_file(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        write_json_atomic(path, {"v": 1})
+        with pytest.raises(TypeError):
+            write_json_atomic(path, {"v": object()})
+        # Old baseline intact, no temp debris.
+        assert json.loads(path.read_text()) == {"v": 1}
+        assert os.listdir(tmp_path) == ["BENCH_x.json"]
+
+    def test_accepts_str_paths(self, tmp_path):
+        path = str(tmp_path / "BENCH_x.json")
+        write_json_atomic(path, [1, 2])
+        assert json.loads(open(path).read()) == [1, 2]
