@@ -79,22 +79,31 @@ class PatchEmbedding(nn.Module):
         self.max_len = max_len
         self.dtype = dtype
 
-    def forward(self, tokens: np.ndarray, coords: Optional[np.ndarray] = None,
-                valid: Optional[np.ndarray] = None) -> nn.Tensor:
-        """Embed (B, L, T) numpy tokens into a (B, L, D) tensor.
+    def forward(self, tokens, coords=None, valid=None) -> nn.Tensor:
+        """Embed (B, L, T) tokens into a (B, L, D) tensor.
 
         Padding positions (``valid == False``) are zeroed after embedding so
         they contribute nothing to attention values.
+
+        Accepts either raw numpy arrays (eager convenience: cast to the
+        model dtype here, ``valid`` as a (B, L) bool mask) or pre-prepared
+        :class:`~repro.nn.Tensor` graph inputs (the shape-stable form the
+        compiled runtime traces: ``valid`` already a (B, L, 1) float mask).
         """
         b, length, _ = tokens.shape
         if length > self.max_len:
             raise ValueError(f"sequence length {length} exceeds positional "
                              f"table size {self.max_len}")
-        x = self.proj(nn.Tensor(tokens.astype(self.dtype)))
+        if not isinstance(tokens, nn.Tensor):
+            tokens = nn.Tensor(tokens.astype(self.dtype))
+        x = self.proj(tokens)
         x = x + self.pos[:length]
         if self.use_coords and coords is not None:
-            x = x + self.coord_proj(nn.Tensor(coords.astype(self.dtype)))
+            if not isinstance(coords, nn.Tensor):
+                coords = nn.Tensor(coords.astype(self.dtype))
+            x = x + self.coord_proj(coords)
         if valid is not None:
-            mask = valid.astype(self.dtype)[:, :, None]
-            x = x * nn.Tensor(mask)
+            if not isinstance(valid, nn.Tensor):
+                valid = nn.Tensor(valid.astype(self.dtype)[:, :, None])
+            x = x * valid
         return x

@@ -21,7 +21,21 @@ __all__ = ["ViTBackbone", "ViTSegmenter", "VolumeViTSegmenter",
 
 
 class ViTBackbone(nn.Module):
-    """Patch embedding + transformer encoder stack."""
+    """Patch embedding + transformer encoder stack.
+
+    The forward is split into two shape-stable halves so the compiled
+    runtime (:mod:`repro.runtime`) can trace it once per input signature:
+
+    * :meth:`prepare_inputs` — pure numpy preprocessing (dtype casts and
+      the mask/bias features derived from ``valid``), shared verbatim by
+      the eager forward and the compiled executor;
+    * :meth:`forward_core` — pure Tensor-op graph over those prepared
+      inputs, with no data-dependent branching.
+
+    ``forward(tokens, coords, valid)`` is exactly
+    ``forward_core(**prepare_inputs(...))``, which is what makes compiled
+    outputs bit-identical to the eager ``no_grad`` forward.
+    """
 
     def __init__(self, token_dim: int, dim: int = 64, depth: int = 4,
                  heads: int = 4, max_len: int = 1024, mlp_ratio: float = 2.0,
@@ -37,10 +51,35 @@ class ViTBackbone(nn.Module):
         self.dim = dim
         self.depth = depth
 
+    def prepare_inputs(self, tokens: np.ndarray, coords=None, valid=None
+                       ) -> dict:
+        """Numpy feeds for :meth:`forward_core`, keyed by argument name."""
+        dtype = self.embed.dtype
+        feeds = {"tokens": np.asarray(tokens).astype(dtype)}
+        if self.embed.use_coords and coords is not None:
+            feeds["coords"] = np.asarray(coords).astype(dtype)
+        if valid is not None:
+            valid = np.asarray(valid)
+            feeds["validf"] = valid.astype(dtype)[:, :, None]
+            feeds["attn_bias"] = nn.attention_bias(valid, dtype)
+        return feeds
+
+    def forward_core(self, tokens: nn.Tensor, coords: Optional[nn.Tensor] = None,
+                     validf: Optional[nn.Tensor] = None,
+                     attn_bias: Optional[nn.Tensor] = None) -> nn.Tensor:
+        """Pure Tensor-op forward over prepared inputs (traceable)."""
+        x = self.embed(tokens, coords, validf)
+        return self.encoder(x, attn_bias=attn_bias)
+
     def forward(self, tokens: np.ndarray, coords=None, valid=None,
                 return_hidden: Sequence[int] = ()):
-        x = self.embed(tokens, coords, valid)
-        return self.encoder(x, return_hidden=return_hidden, key_mask=valid)
+        if return_hidden:
+            # Multi-output tap path (UNETR skips) — eager only.
+            x = self.embed(tokens, coords, valid)
+            return self.encoder(x, return_hidden=return_hidden, key_mask=valid)
+        feeds = self.prepare_inputs(tokens, coords, valid)
+        return self.forward_core(
+            **{name: nn.Tensor(arr) for name, arr in feeds.items()})
 
 
 class ViTSegmenter(nn.Module):
@@ -56,16 +95,26 @@ class ViTSegmenter(nn.Module):
     def __init__(self, patch_size: int, channels: int = 1, dim: int = 64,
                  depth: int = 4, heads: int = 4, max_len: int = 1024,
                  out_channels: int = 1, use_coords: bool = True,
+                 mlp_ratio: float = 2.0,
                  rng: Optional[np.random.Generator] = None, dtype=np.float32):
         super().__init__()
         rng = rng or np.random.default_rng(0)
         token_dim = channels * patch_size * patch_size
         self.backbone = ViTBackbone(token_dim, dim, depth, heads, max_len,
+                                    mlp_ratio=mlp_ratio,
                                     use_coords=use_coords, rng=rng, dtype=dtype)
         self.head = nn.Linear(dim, out_channels * patch_size * patch_size,
                               rng=rng, dtype=dtype)
         self.patch_size = patch_size
         self.out_channels = out_channels
+
+    def prepare_inputs(self, tokens: np.ndarray, coords=None, valid=None) -> dict:
+        return self.backbone.prepare_inputs(tokens, coords, valid)
+
+    def forward_core(self, tokens: nn.Tensor, coords=None, validf=None,
+                     attn_bias=None) -> nn.Tensor:
+        return self.head(self.backbone.forward_core(tokens, coords, validf,
+                                                    attn_bias))
 
     def forward(self, tokens: np.ndarray, coords=None, valid=None) -> nn.Tensor:
         """Token logits of shape (B, L, out_channels * Pm * Pm)."""
@@ -111,6 +160,14 @@ class VolumeViTSegmenter(nn.Module):
         self.patch_size = patch_size
         self.out_channels = out_channels
 
+    def prepare_inputs(self, tokens: np.ndarray, coords=None, valid=None) -> dict:
+        return self.backbone.prepare_inputs(tokens, coords, valid)
+
+    def forward_core(self, tokens: nn.Tensor, coords=None, validf=None,
+                     attn_bias=None) -> nn.Tensor:
+        return self.head(self.backbone.forward_core(tokens, coords, validf,
+                                                    attn_bias))
+
     def forward(self, tokens: np.ndarray, coords=None, valid=None) -> nn.Tensor:
         """Token logits of shape (B, L, out_channels * Pm³)."""
         return self.head(self.backbone(tokens, coords, valid))
@@ -148,18 +205,27 @@ class ViTClassifier(nn.Module):
         self.num_classes = num_classes
         self.dtype = dtype
 
+    def prepare_inputs(self, tokens: np.ndarray, coords=None, valid=None) -> dict:
+        feeds = self.backbone.prepare_inputs(tokens, coords, valid)
+        if valid is not None:
+            w = np.asarray(valid).astype(self.dtype)
+            denom = np.maximum(w.sum(axis=1, keepdims=True), 1.0)
+            feeds["poolw"] = (w / denom)[:, :, None]
+        return feeds
+
+    def forward_core(self, tokens: nn.Tensor, coords=None, validf=None,
+                     attn_bias=None, poolw=None) -> nn.Tensor:
+        x = self.backbone.forward_core(tokens, coords, validf, attn_bias)
+        # Masked mean pooling: padded tokens carry zero weight.
+        pooled = x.mean(axis=1) if poolw is None else (x * poolw).sum(axis=1)
+        return self.head(pooled)
+
     def forward(self, tokens: np.ndarray, coords=None,
                 valid: Optional[np.ndarray] = None) -> nn.Tensor:
         """Class logits (B, num_classes)."""
-        x = self.backbone(tokens, coords, valid)           # (B, L, D)
-        if valid is None:
-            pooled = x.mean(axis=1)
-        else:
-            w = valid.astype(self.dtype)
-            denom = np.maximum(w.sum(axis=1, keepdims=True), 1.0)
-            mask = nn.Tensor((w / denom)[:, :, None])
-            pooled = (x * mask).sum(axis=1)
-        return self.head(pooled)
+        feeds = self.prepare_inputs(tokens, coords, valid)
+        return self.forward_core(
+            **{name: nn.Tensor(arr) for name, arr in feeds.items()})
 
     def forward_sequences(self, seqs: Sequence[PatchSequence]) -> nn.Tensor:
         tokens, coords, valid = collate_sequences(seqs)

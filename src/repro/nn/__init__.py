@@ -10,19 +10,20 @@ section 1). Public surface:
 * :mod:`repro.nn.losses` — BCE + dice (paper Eq. 7-9), cross-entropy
 """
 
-from . import functional
+from . import functional, kernels
 from .losses import (bce_loss, combined_bce_dice, cross_entropy, dice_loss,
                      multiclass_dice_loss)
 from .modules import (MLP, BatchNorm2d, Conv2d, ConvTranspose2d, Dropout,
                       GroupNorm, Identity, LayerNorm, Linear, Module,
                       ModuleList, MultiHeadAttention, Parameter, Sequential,
-                      TransformerEncoder, TransformerEncoderLayer)
+                      TransformerEncoder, TransformerEncoderLayer,
+                      attention_bias)
 from .optim import SGD, Adam, AdamW, CosineLR, MultiStepLR, clip_grad_norm
 from .tensor import Tensor, concat, is_grad_enabled, no_grad, ones, stack, tensor, zeros
 
 __all__ = [
     "Tensor", "no_grad", "is_grad_enabled", "tensor", "zeros", "ones",
-    "concat", "stack", "functional",
+    "concat", "stack", "functional", "kernels", "attention_bias",
     "Parameter", "Module", "Sequential", "ModuleList", "Identity", "Linear",
     "Dropout", "LayerNorm", "Conv2d", "ConvTranspose2d", "BatchNorm2d",
     "GroupNorm", "MultiHeadAttention", "MLP", "TransformerEncoderLayer",

@@ -5,6 +5,11 @@ convolution / transposed convolution, non-overlapping max pooling, softmax,
 layer normalization, nearest-neighbour upsampling and dropout. All forward
 paths are fully vectorized NumPy (no Python loops over pixels), per the
 HPC-Python guides; backward paths use precomputed gather/scatter index maps.
+
+Forward values route through the kernel dispatch table
+(:mod:`repro.nn.kernels`): the structured kernels are registered here (next
+to their backward closures) so the compiled executor replays the exact same
+arithmetic, and every op notifies the trace hook.
 """
 
 from __future__ import annotations
@@ -13,6 +18,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from . import kernels as K
 from .tensor import Tensor, _unbroadcast
 
 __all__ = [
@@ -47,25 +53,41 @@ def _im2col_indices(channels: int, height: int, width: int, kh: int, kw: int,
     return k, i, j, ho, wo
 
 
-def conv2d(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None,
-           stride: int = 1, padding: int = 0) -> Tensor:
-    """2-D convolution. ``x``: (N,C,H,W); ``weight``: (O,C,kh,kw)."""
+def _conv2d_forward(params, x: np.ndarray, weight: np.ndarray,
+                    bias: Optional[np.ndarray] = None):
+    """Shared conv2d forward: returns (out, residuals-for-backward)."""
+    stride, padding = params
     n, c, h, w = x.shape
     o, c2, kh, kw = weight.shape
     if c != c2:
         raise ValueError(f"conv2d channel mismatch: input {c} vs weight {c2}")
     k, i, j, ho, wo = _im2col_indices(c, h, w, kh, kw, stride, padding)
-    xp = np.pad(x.data, ((0, 0), (0, 0), (padding, padding), (padding, padding))) if padding else x.data
+    xp = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding))) if padding else x
     cols = xp[:, k, i, j]                                   # (N, C*kh*kw, Ho*Wo)
-    wmat = weight.data.reshape(o, -1)                        # (O, C*kh*kw)
+    wmat = weight.reshape(o, -1)                             # (O, C*kh*kw)
     out_data = np.einsum("ok,nkp->nop", wmat, cols, optimize=True)
     if bias is not None:
-        out_data = out_data + bias.data.reshape(1, o, 1)
+        out_data = out_data + bias.reshape(1, o, 1)
     out_data = out_data.reshape(n, o, ho, wo)
+    return out_data, (cols, wmat, k, i, j, ho, wo)
+
+
+K.register("conv2d", lambda p, *arrs: _conv2d_forward(p, *arrs)[0])
+
+
+def conv2d(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None,
+           stride: int = 1, padding: int = 0) -> Tensor:
+    """2-D convolution. ``x``: (N,C,H,W); ``weight``: (O,C,kh,kw)."""
+    n, c, h, w = x.shape
+    params = (stride, padding)
+    out_data, (cols, wmat, k, i, j, ho, wo) = _conv2d_forward(
+        params, x.data, weight.data, bias.data if bias is not None else None)
 
     parents = (x, weight) + ((bias,) if bias is not None else ())
     out = x._make(out_data, parents)
     if out.requires_grad:
+        o = weight.shape[0]
+
         def _bw(g: np.ndarray) -> None:
             gflat = g.reshape(n, o, ho * wo)
             if bias is not None and bias.requires_grad:
@@ -82,15 +104,14 @@ def conv2d(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None,
                 x._accum(gxp)
 
         out._backward = _bw
+    K.record("conv2d", params, parents, out)
     return out
 
 
-def conv_transpose2d(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None,
-                     stride: int = 1, padding: int = 0) -> Tensor:
-    """2-D transposed convolution. ``x``: (N,Cin,H,W); ``weight``: (Cin,Cout,kh,kw).
-
-    Output spatial size: ``(H-1)*stride - 2*padding + k``.
-    """
+def _conv_transpose2d_forward(params, x: np.ndarray, weight: np.ndarray,
+                              bias: Optional[np.ndarray] = None):
+    """Shared conv-transpose forward: returns (out, residuals-for-backward)."""
+    stride, padding = params
     n, cin, h, w = x.shape
     cin2, cout, kh, kw = weight.shape
     if cin != cin2:
@@ -101,17 +122,34 @@ def conv_transpose2d(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None,
     # conv with the *output* as image and the input as the column grid.
     k, i, j, h_chk, w_chk = _im2col_indices(cout, ho, wo, kh, kw, stride, padding)
     assert (h_chk, w_chk) == (h, w), "conv_transpose2d geometry mismatch"
-    wmat = weight.data.reshape(cin, cout * kh * kw)          # (Cin, Cout*kh*kw)
-    xflat = x.data.reshape(n, cin, h * w)
+    wmat = weight.reshape(cin, cout * kh * kw)               # (Cin, Cout*kh*kw)
+    xflat = x.reshape(n, cin, h * w)
     cols = np.einsum("ck,ncp->nkp", wmat, xflat, optimize=True)  # (N, Cout*kh*kw, H*W)
-    outp = np.zeros((n, cout, ho + 2 * padding, wo + 2 * padding), dtype=x.data.dtype)
+    outp = np.zeros((n, cout, ho + 2 * padding, wo + 2 * padding), dtype=x.dtype)
     np.add.at(outp, (slice(None), k, i, j), cols)
     out_data = outp[:, :, padding:ho + padding, padding:wo + padding] if padding else outp
     if bias is not None:
-        out_data = out_data + bias.data.reshape(1, cout, 1, 1)
+        out_data = out_data + bias.reshape(1, cout, 1, 1)
+    return np.ascontiguousarray(out_data), (wmat, xflat, k, i, j)
+
+
+K.register("conv_transpose2d",
+           lambda p, *arrs: _conv_transpose2d_forward(p, *arrs)[0])
+
+
+def conv_transpose2d(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None,
+                     stride: int = 1, padding: int = 0) -> Tensor:
+    """2-D transposed convolution. ``x``: (N,Cin,H,W); ``weight``: (Cin,Cout,kh,kw).
+
+    Output spatial size: ``(H-1)*stride - 2*padding + k``.
+    """
+    n, cin, h, w = x.shape
+    params = (stride, padding)
+    out_data, (wmat, xflat, k, i, j) = _conv_transpose2d_forward(
+        params, x.data, weight.data, bias.data if bias is not None else None)
 
     parents = (x, weight) + ((bias,) if bias is not None else ())
-    out = x._make(np.ascontiguousarray(out_data), parents)
+    out = x._make(out_data, parents)
     if out.requires_grad:
         def _bw(g: np.ndarray) -> None:
             if bias is not None and bias.requires_grad:
@@ -126,17 +164,27 @@ def conv_transpose2d(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None,
                 x._accum(gx.reshape(n, cin, h, w))
 
         out._backward = _bw
+    K.record("conv_transpose2d", params, parents, out)
     return out
+
+
+def _max_pool2d_forward(params, x: np.ndarray):
+    kernel = params[0]
+    n, c, h, w = x.shape
+    if h % kernel or w % kernel:
+        raise ValueError(f"max_pool2d: spatial dims ({h},{w}) not divisible by {kernel}")
+    ho, wo = h // kernel, w // kernel
+    xb = x.reshape(n, c, ho, kernel, wo, kernel)
+    return xb.max(axis=(3, 5)), xb
+
+
+K.register("max_pool2d", lambda p, x: _max_pool2d_forward(p, x)[0])
 
 
 def max_pool2d(x: Tensor, kernel: int = 2) -> Tensor:
     """Non-overlapping max pooling with ``stride == kernel`` (U-Net style)."""
     n, c, h, w = x.shape
-    if h % kernel or w % kernel:
-        raise ValueError(f"max_pool2d: spatial dims ({h},{w}) not divisible by {kernel}")
-    ho, wo = h // kernel, w // kernel
-    xb = x.data.reshape(n, c, ho, kernel, wo, kernel)
-    val = xb.max(axis=(3, 5))
+    val, xb = _max_pool2d_forward((kernel,), x.data)
     out = x._make(val, (x,))
     if out.requires_grad:
         mask = xb == val[:, :, :, None, :, None]
@@ -147,18 +195,27 @@ def max_pool2d(x: Tensor, kernel: int = 2) -> Tensor:
             x._accum((mask * gb).reshape(n, c, h, w))
 
         out._backward = _bw
+    K.record("max_pool2d", (kernel,), (x,), out)
     return out
+
+
+def _avg_pool2d_forward(params, x: np.ndarray):
+    kernel = params[0]
+    n, c, h, w = x.shape
+    if h % kernel or w % kernel:
+        raise ValueError(f"avg_pool2d: spatial dims ({h},{w}) not divisible by {kernel}")
+    ho, wo = h // kernel, w // kernel
+    return x.reshape(n, c, ho, kernel, wo, kernel).mean(axis=(3, 5))
+
+
+K.register("avg_pool2d", _avg_pool2d_forward)
 
 
 def avg_pool2d(x: Tensor, kernel: int = 2) -> Tensor:
     """Non-overlapping average pooling with ``stride == kernel``."""
     n, c, h, w = x.shape
-    if h % kernel or w % kernel:
-        raise ValueError(f"avg_pool2d: spatial dims ({h},{w}) not divisible by {kernel}")
     ho, wo = h // kernel, w // kernel
-    xb = x.data.reshape(n, c, ho, kernel, wo, kernel)
-    val = xb.mean(axis=(3, 5))
-    out = x._make(val, (x,))
+    out = x._make(_avg_pool2d_forward((kernel,), x.data), (x,))
     if out.requires_grad:
         inv = 1.0 / (kernel * kernel)
 
@@ -168,14 +225,13 @@ def avg_pool2d(x: Tensor, kernel: int = 2) -> Tensor:
             x._accum(gb.reshape(n, c, h, w).copy())
 
         out._backward = _bw
+    K.record("avg_pool2d", (kernel,), (x,), out)
     return out
 
 
 def softmax(x: Tensor, axis: int = -1) -> Tensor:
     """Numerically stable softmax along ``axis``."""
-    shifted = x.data - x.data.max(axis=axis, keepdims=True)
-    e = np.exp(shifted)
-    val = e / e.sum(axis=axis, keepdims=True)
+    val = K.forward("softmax", (axis,), x.data)
     out = x._make(val, (x,))
     if out.requires_grad:
         def _bw(g: np.ndarray) -> None:
@@ -183,14 +239,13 @@ def softmax(x: Tensor, axis: int = -1) -> Tensor:
             x._accum(gy - val * gy.sum(axis=axis, keepdims=True))
 
         out._backward = _bw
+    K.record("softmax", (axis,), (x,), out)
     return out
 
 
 def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
     """Numerically stable log-softmax along ``axis``."""
-    shifted = x.data - x.data.max(axis=axis, keepdims=True)
-    lse = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
-    val = shifted - lse
+    val = K.forward("log_softmax", (axis,), x.data)
     out = x._make(val, (x,))
     if out.requires_grad:
         sm = np.exp(val)
@@ -199,21 +254,16 @@ def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
             x._accum(g - sm * g.sum(axis=axis, keepdims=True))
 
         out._backward = _bw
+    K.record("log_softmax", (axis,), (x,), out)
     return out
 
 
 def layer_norm(x: Tensor, weight: Tensor, bias: Tensor, eps: float = 1e-5) -> Tensor:
     """Layer normalization over the last axis, with affine parameters."""
-    mu = x.data.mean(axis=-1, keepdims=True)
-    xc = x.data - mu
-    var = (xc * xc).mean(axis=-1, keepdims=True)
-    inv = 1.0 / np.sqrt(var + eps)
-    xhat = xc * inv
+    xhat, inv = K._layer_norm_stats(x.data, eps)
     val = xhat * weight.data + bias.data
     out = x._make(val, (x, weight, bias))
     if out.requires_grad:
-        d = x.shape[-1]
-
         def _bw(g: np.ndarray) -> None:
             if bias.requires_grad:
                 bias._accum(_unbroadcast(g, bias.shape))
@@ -227,20 +277,29 @@ def layer_norm(x: Tensor, weight: Tensor, bias: Tensor, eps: float = 1e-5) -> Te
                 x._accum(inv * (term1 - term2 - term3))
 
         out._backward = _bw
+    K.record("layer_norm", (eps,), (x, weight, bias), out)
     return out
+
+
+def _upsample_nearest2d_forward(params, x: np.ndarray):
+    scale = params[0]
+    return np.repeat(np.repeat(x, scale, axis=2), scale, axis=3)
+
+
+K.register("upsample_nearest2d", _upsample_nearest2d_forward)
 
 
 def upsample_nearest2d(x: Tensor, scale: int) -> Tensor:
     """Nearest-neighbour upsampling of an NCHW tensor by integer ``scale``."""
     n, c, h, w = x.shape
-    val = np.repeat(np.repeat(x.data, scale, axis=2), scale, axis=3)
-    out = x._make(val, (x,))
+    out = x._make(_upsample_nearest2d_forward((scale,), x.data), (x,))
     if out.requires_grad:
         def _bw(g: np.ndarray) -> None:
             gb = g.reshape(n, c, h, scale, w, scale).sum(axis=(3, 5))
             x._accum(gb)
 
         out._backward = _bw
+    K.record("upsample_nearest2d", (scale,), (x,), out)
     return out
 
 
@@ -249,6 +308,10 @@ def dropout(x: Tensor, p: float, rng: np.random.Generator,
     """Inverted dropout: identity at eval time or when ``p == 0``."""
     if not training or p <= 0.0:
         return x
+    if K.tracing():
+        raise RuntimeError(
+            "cannot trace stochastic dropout: call model.eval() (or set "
+            "p=0) before compiling an inference graph")
     keep = 1.0 - p
     mask = (rng.random(x.shape) < keep).astype(x.dtype) / keep
     out = x._make(x.data * mask, (x,))

@@ -16,6 +16,7 @@ from . import functional as F
 from .tensor import Tensor
 
 __all__ = [
+    "attention_bias",
     "Parameter",
     "Module",
     "Sequential",
@@ -299,6 +300,17 @@ class GroupNorm(Module):
         return xhat * self.weight.reshape(1, -1, 1, 1) + self.bias.reshape(1, -1, 1, 1)
 
 
+def attention_bias(key_mask: np.ndarray, dtype) -> np.ndarray:
+    """Additive attention bias from a (N, L) boolean key mask.
+
+    False marks padding keys that must receive (numerically) zero attention.
+    Shared by the eager forward and
+    :meth:`repro.models.vit.ViTBackbone.prepare_inputs` so the compiled
+    runtime feeds bit-identical bias values.
+    """
+    return np.where(key_mask[:, None, None, :], 0.0, -1e9).astype(dtype)
+
+
 class MultiHeadAttention(Module):
     """Standard dense multi-head self-attention (paper Eq. 2-5), unchanged.
 
@@ -324,18 +336,28 @@ class MultiHeadAttention(Module):
         # (N, L, D) -> (N, H, L, Dh)
         return x.reshape(n, length, self.heads, self.head_dim).transpose(0, 2, 1, 3)
 
-    def forward(self, x: Tensor, key_mask: Optional[np.ndarray] = None) -> Tensor:
+    def _scale(self, dtype) -> Tensor:
+        """Dtype-matched 1/sqrt(Dh) so float32 models stay float32 (a python
+        scalar would coerce to a float64 0-d array and silently promote the
+        whole downstream graph — double the bandwidth on this box)."""
+        return Tensor(np.asarray(1.0 / math.sqrt(self.head_dim), dtype=dtype))
+
+    def forward(self, x: Tensor, key_mask: Optional[np.ndarray] = None,
+                attn_bias: Optional[Tensor] = None) -> Tensor:
         """``key_mask``: optional (N, L) boolean array; False marks padding
-        keys that must receive zero attention (APF's pad-to-length step)."""
+        keys that must receive zero attention (APF's pad-to-length step).
+        ``attn_bias``: precomputed additive-bias tensor (see
+        :func:`attention_bias`) — the shape-stable form the compiled runtime
+        feeds; overrides ``key_mask``."""
         n, length, _ = x.shape
         q = self._split(self.wq(x), n, length)
         k = self._split(self.wk(x), n, length)
         v = self._split(self.wv(x), n, length)
-        scale = 1.0 / math.sqrt(self.head_dim)
-        scores = (q @ k.transpose(0, 1, 3, 2)) * scale          # (N,H,L,L)
-        if key_mask is not None:
-            bias = np.where(key_mask[:, None, None, :], 0.0, -1e9)
-            scores = scores + Tensor(bias.astype(scores.dtype))
+        scores = (q @ k.transpose(0, 1, 3, 2)) * self._scale(x.dtype)  # (N,H,L,L)
+        if attn_bias is None and key_mask is not None:
+            attn_bias = Tensor(attention_bias(key_mask, scores.dtype))
+        if attn_bias is not None:
+            scores = scores + attn_bias
         attn = F.softmax(scores, axis=-1)
         attn = self.attn_drop(attn)
         ctx = attn @ v                                           # (N,H,L,Dh)
@@ -349,8 +371,7 @@ class MultiHeadAttention(Module):
             n, length, _ = x.shape
             q = self._split(self.wq(x), n, length)
             k = self._split(self.wk(x), n, length)
-            scale = 1.0 / math.sqrt(self.head_dim)
-            scores = (q @ k.transpose(0, 1, 3, 2)) * scale
+            scores = (q @ k.transpose(0, 1, 3, 2)) * self._scale(x.dtype)
             return F.softmax(scores, axis=-1).data
 
 
@@ -382,8 +403,10 @@ class TransformerEncoderLayer(Module):
         self.norm2 = LayerNorm(dim, dtype=dtype)
         self.mlp = MLP(dim, int(dim * mlp_ratio), rng=rng, dtype=dtype, drop=drop)
 
-    def forward(self, x: Tensor, key_mask: Optional[np.ndarray] = None) -> Tensor:
-        x = x + self.attn(self.norm1(x), key_mask=key_mask)
+    def forward(self, x: Tensor, key_mask: Optional[np.ndarray] = None,
+                attn_bias: Optional[Tensor] = None) -> Tensor:
+        x = x + self.attn(self.norm1(x), key_mask=key_mask,
+                          attn_bias=attn_bias)
         x = x + self.mlp(self.norm2(x))
         return x
 
@@ -405,10 +428,11 @@ class TransformerEncoder(Module):
         self.norm = LayerNorm(dim, dtype=dtype)
 
     def forward(self, x: Tensor, return_hidden: Sequence[int] = (),
-                key_mask: Optional[np.ndarray] = None) -> Tensor:
+                key_mask: Optional[np.ndarray] = None,
+                attn_bias: Optional[Tensor] = None) -> Tensor:
         hidden: List[Tensor] = []
         for i, layer in enumerate(self.layers, start=1):
-            x = layer(x, key_mask=key_mask)
+            x = layer(x, key_mask=key_mask, attn_bias=attn_bias)
             if i in return_hidden:
                 hidden.append(x)
         x = self.norm(x)

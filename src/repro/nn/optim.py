@@ -32,13 +32,31 @@ def clip_grad_norm(params: Iterable[Parameter], max_norm: float) -> float:
 
 
 class Optimizer:
-    """Base: holds parameter list and a mutable learning rate."""
+    """Base: holds parameter list and a mutable learning rate.
+
+    Subclass ``step()``s update ``p.data`` **in place** through a small
+    shape-keyed scratch pool (``_buf``): every arithmetic step lands in a
+    preallocated buffer via ``out=``, so repeated steps allocate nothing
+    and every Tensor/plan that aliases a parameter array (including the
+    compiled runtime's constant-folded weight views) observes the update.
+    The ufunc sequences replay the original expressions exactly, so
+    training trajectories are bit-identical to the allocating versions.
+    """
 
     def __init__(self, params: Iterable[Parameter], lr: float):
         self.params: List[Parameter] = list(params)
         if not self.params:
             raise ValueError("optimizer got an empty parameter list")
         self.lr = float(lr)
+        self._bufs: dict = {}
+
+    def _buf(self, shape, dtype, slot: int = 0) -> np.ndarray:
+        key = (tuple(shape), np.dtype(dtype), slot)
+        buf = self._bufs.get(key)
+        if buf is None:
+            buf = np.empty(key[0], dtype=key[1])
+            self._bufs[key] = buf
+        return buf
 
     def zero_grad(self) -> None:
         for p in self.params:
@@ -64,12 +82,18 @@ class SGD(Optimizer):
                 continue
             g = p.grad
             if self.weight_decay:
-                g = g + self.weight_decay * p.data
+                t = self._buf(p.data.shape,
+                              np.result_type(g.dtype, p.data.dtype), 0)
+                np.multiply(p.data, self.weight_decay, out=t)
+                np.add(g, t, out=t)
+                g = t
             if self.momentum:
-                v *= self.momentum
-                v += g
+                np.multiply(v, self.momentum, out=v)
+                np.add(v, g, out=v)
                 g = v
-            p.data -= self.lr * g
+            u = self._buf(p.data.shape, g.dtype, 1)
+            np.multiply(g, self.lr, out=u)
+            np.subtract(p.data, u, out=p.data, casting="same_kind")
 
 
 class Adam(Optimizer):
@@ -86,6 +110,31 @@ class Adam(Optimizer):
         self._m = [np.zeros_like(p.data) for p in self.params]
         self._v = [np.zeros_like(p.data) for p in self.params]
 
+    def _moment_update(self, g: np.ndarray, m: np.ndarray,
+                       v: np.ndarray) -> None:
+        """First/second-moment EMA updates, in place."""
+        t = self._buf(g.shape, g.dtype, 1)
+        np.multiply(m, self.b1, out=m)
+        np.multiply(g, 1 - self.b1, out=t)
+        np.add(m, t, out=m, casting="same_kind")
+        np.multiply(v, self.b2, out=v)
+        np.multiply(g, g, out=t)
+        np.multiply(t, 1 - self.b2, out=t)
+        np.add(v, t, out=v, casting="same_kind")
+
+    def _apply_update(self, p: Parameter, m: np.ndarray, v: np.ndarray,
+                      bc1: float, bc2: float) -> None:
+        """``p.data -= lr * (m / bc1) / (sqrt(v / bc2) + eps)``, via out=."""
+        t = self._buf(m.shape, m.dtype, 1)
+        np.divide(m, bc1, out=t)
+        np.multiply(t, self.lr, out=t)
+        u = self._buf(v.shape, v.dtype, 2)
+        np.divide(v, bc2, out=u)
+        np.sqrt(u, out=u)
+        np.add(u, self.eps, out=u)
+        np.divide(t, u, out=t)
+        np.subtract(p.data, t, out=p.data, casting="same_kind")
+
     def step(self) -> None:
         self.t += 1
         bc1 = 1.0 - self.b1 ** self.t
@@ -95,12 +144,13 @@ class Adam(Optimizer):
                 continue
             g = p.grad
             if self.weight_decay:
-                g = g + self.weight_decay * p.data
-            m *= self.b1
-            m += (1 - self.b1) * g
-            v *= self.b2
-            v += (1 - self.b2) * (g * g)
-            p.data -= self.lr * (m / bc1) / (np.sqrt(v / bc2) + self.eps)
+                t0 = self._buf(p.data.shape,
+                               np.result_type(g.dtype, p.data.dtype), 0)
+                np.multiply(p.data, self.weight_decay, out=t0)
+                np.add(g, t0, out=t0)
+                g = t0
+            self._moment_update(g, m, v)
+            self._apply_update(p, m, v, bc1, bc2)
 
 
 class AdamW(Adam):
@@ -113,14 +163,14 @@ class AdamW(Adam):
         for p, m, v in zip(self.params, self._m, self._v):
             if p.grad is None:
                 continue
-            g = p.grad
-            m *= self.b1
-            m += (1 - self.b1) * g
-            v *= self.b2
-            v += (1 - self.b2) * (g * g)
+            self._moment_update(p.grad, m, v)
             if self.weight_decay:
-                p.data -= self.lr * self.weight_decay * p.data
-            p.data -= self.lr * (m / bc1) / (np.sqrt(v / bc2) + self.eps)
+                # Decoupled decay: p -= (lr * wd) * p, folding the scalars
+                # first exactly as the original left-associated expression.
+                t0 = self._buf(p.data.shape, p.data.dtype, 0)
+                np.multiply(p.data, self.lr * self.weight_decay, out=t0)
+                np.subtract(p.data, t0, out=p.data)
+            self._apply_update(p, m, v, bc1, bc2)
 
 
 class MultiStepLR:

@@ -13,39 +13,57 @@ Design notes
   the finite-difference gradient checks in the test-suite rely on.
 * No in-place mutation of ``data`` after an op is recorded; the engine
   assumes value semantics (enforced by convention, as NumPy views are cheap).
+* Every forward value is produced by the kernel dispatch table
+  (:mod:`repro.nn.kernels`) and every op notifies the table's trace hook, so
+  the compiled executor in :mod:`repro.runtime` replays numerically
+  identical computations from the same kernels.
+* Grad mode is **thread-local**: ``no_grad`` in one pipeline worker thread
+  cannot disable tape construction in another.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
+
+from . import kernels as K
 
 Arrayish = Union["Tensor", np.ndarray, float, int]
 
 __all__ = ["Tensor", "no_grad", "is_grad_enabled", "tensor", "zeros", "ones"]
 
 
-class _GradMode:
-    """Process-wide flag gating tape construction (mirrors torch.no_grad)."""
+class _GradMode(threading.local):
+    """Per-thread flag gating tape construction (mirrors torch.no_grad).
+
+    Reading ``enabled`` before any write in a thread falls through to the
+    class attribute, so every thread starts with gradients enabled; writes
+    land in the thread's own instance dict.
+    """
 
     enabled: bool = True
 
 
+_grad_mode = _GradMode()
+
+
 class no_grad:
-    """Context manager that disables gradient tracking inside its block."""
+    """Context manager that disables gradient tracking inside its block
+    (for the current thread only)."""
 
     def __enter__(self) -> "no_grad":
-        self._prev = _GradMode.enabled
-        _GradMode.enabled = False
+        self._prev = _grad_mode.enabled
+        _grad_mode.enabled = False
         return self
 
     def __exit__(self, *exc) -> None:
-        _GradMode.enabled = self._prev
+        _grad_mode.enabled = self._prev
 
 
 def is_grad_enabled() -> bool:
-    return _GradMode.enabled
+    return _grad_mode.enabled
 
 
 def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
@@ -83,7 +101,7 @@ class Tensor:
             arr = arr.astype(np.float32)
         self.data: np.ndarray = arr
         self.grad: Optional[np.ndarray] = None
-        self.requires_grad = bool(requires_grad) and _GradMode.enabled
+        self.requires_grad = bool(requires_grad) and _grad_mode.enabled
         self._backward: Optional[Callable[[np.ndarray], None]] = None
         self._parents: Tuple[Tensor, ...] = ()
         self.name = name
@@ -121,7 +139,7 @@ class Tensor:
         return Tensor(self.data.copy(), requires_grad=self.requires_grad)
 
     def astype(self, dtype) -> "Tensor":
-        out = self._make(self.data.astype(dtype), (self,))
+        out = self._make(K.forward("astype", (dtype,), self.data), (self,))
         if out.requires_grad:
             src_dtype = self.data.dtype
 
@@ -129,6 +147,7 @@ class Tensor:
                 self._accum(g.astype(src_dtype))
 
             out._backward = _bw
+        K.record("astype", (dtype,), (self,), out)
         return out
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -143,7 +162,7 @@ class Tensor:
     # ------------------------------------------------------------------
     def _make(self, data: np.ndarray, parents: Tuple["Tensor", ...]) -> "Tensor":
         """Create an op output linked to ``parents`` when grad is enabled."""
-        req = _GradMode.enabled and any(p.requires_grad for p in parents)
+        req = _grad_mode.enabled and any(p.requires_grad for p in parents)
         out = Tensor(data)
         out.requires_grad = req
         if req:
@@ -209,7 +228,8 @@ class Tensor:
 
     def __add__(self, other: Arrayish) -> "Tensor":
         other = self._coerce(other)
-        out = self._make(self.data + other.data, (self, other))
+        out = self._make(K.forward("add", (), self.data, other.data),
+                         (self, other))
         if out.requires_grad:
             a, b = self, other
 
@@ -220,13 +240,15 @@ class Tensor:
                     b._accum(_unbroadcast(g, b.shape))
 
             out._backward = _bw
+        K.record("add", (), (self, other), out)
         return out
 
     __radd__ = __add__
 
     def __sub__(self, other: Arrayish) -> "Tensor":
         other = self._coerce(other)
-        out = self._make(self.data - other.data, (self, other))
+        out = self._make(K.forward("sub", (), self.data, other.data),
+                         (self, other))
         if out.requires_grad:
             a, b = self, other
 
@@ -237,13 +259,14 @@ class Tensor:
                     b._accum(_unbroadcast(-g, b.shape))
 
             out._backward = _bw
+        K.record("sub", (), (self, other), out)
         return out
 
     def __rsub__(self, other: Arrayish) -> "Tensor":
         return self._coerce(other) - self
 
     def __neg__(self) -> "Tensor":
-        out = self._make(-self.data, (self,))
+        out = self._make(K.forward("neg", (), self.data), (self,))
         if out.requires_grad:
             a = self
 
@@ -251,11 +274,13 @@ class Tensor:
                 a._accum(-g)
 
             out._backward = _bw
+        K.record("neg", (), (self,), out)
         return out
 
     def __mul__(self, other: Arrayish) -> "Tensor":
         other = self._coerce(other)
-        out = self._make(self.data * other.data, (self, other))
+        out = self._make(K.forward("mul", (), self.data, other.data),
+                         (self, other))
         if out.requires_grad:
             a, b = self, other
 
@@ -266,13 +291,15 @@ class Tensor:
                     b._accum(_unbroadcast(g * a.data, b.shape))
 
             out._backward = _bw
+        K.record("mul", (), (self, other), out)
         return out
 
     __rmul__ = __mul__
 
     def __truediv__(self, other: Arrayish) -> "Tensor":
         other = self._coerce(other)
-        out = self._make(self.data / other.data, (self, other))
+        out = self._make(K.forward("div", (), self.data, other.data),
+                         (self, other))
         if out.requires_grad:
             a, b = self, other
 
@@ -283,6 +310,7 @@ class Tensor:
                     b._accum(_unbroadcast(-g * a.data / (b.data * b.data), b.shape))
 
             out._backward = _bw
+        K.record("div", (), (self, other), out)
         return out
 
     def __rtruediv__(self, other: Arrayish) -> "Tensor":
@@ -291,7 +319,7 @@ class Tensor:
     def __pow__(self, p: float) -> "Tensor":
         if not np.isscalar(p):
             raise TypeError("Tensor.__pow__ supports scalar exponents only")
-        out = self._make(self.data ** p, (self,))
+        out = self._make(K.forward("pow", (p,), self.data), (self,))
         if out.requires_grad:
             a = self
 
@@ -299,13 +327,14 @@ class Tensor:
                 a._accum(g * p * (a.data ** (p - 1)))
 
             out._backward = _bw
+        K.record("pow", (p,), (self,), out)
         return out
 
     # ------------------------------------------------------------------
     # transcendental / nonlinearities
     # ------------------------------------------------------------------
     def exp(self) -> "Tensor":
-        val = np.exp(self.data)
+        val = K.forward("exp", (), self.data)
         out = self._make(val, (self,))
         if out.requires_grad:
             a = self
@@ -314,10 +343,11 @@ class Tensor:
                 a._accum(g * val)
 
             out._backward = _bw
+        K.record("exp", (), (self,), out)
         return out
 
     def log(self) -> "Tensor":
-        out = self._make(np.log(self.data), (self,))
+        out = self._make(K.forward("log", (), self.data), (self,))
         if out.requires_grad:
             a = self
 
@@ -325,10 +355,11 @@ class Tensor:
                 a._accum(g / a.data)
 
             out._backward = _bw
+        K.record("log", (), (self,), out)
         return out
 
     def sqrt(self) -> "Tensor":
-        val = np.sqrt(self.data)
+        val = K.forward("sqrt", (), self.data)
         out = self._make(val, (self,))
         if out.requires_grad:
             a = self
@@ -337,10 +368,11 @@ class Tensor:
                 a._accum(g * 0.5 / val)
 
             out._backward = _bw
+        K.record("sqrt", (), (self,), out)
         return out
 
     def tanh(self) -> "Tensor":
-        val = np.tanh(self.data)
+        val = K.forward("tanh", (), self.data)
         out = self._make(val, (self,))
         if out.requires_grad:
             a = self
@@ -349,14 +381,11 @@ class Tensor:
                 a._accum(g * (1.0 - val * val))
 
             out._backward = _bw
+        K.record("tanh", (), (self,), out)
         return out
 
     def sigmoid(self) -> "Tensor":
-        # Numerically stable logistic.
-        x = self.data
-        val = np.where(x >= 0, 1.0 / (1.0 + np.exp(-np.clip(x, None, 88.0))),
-                       np.exp(np.clip(x, -88.0, None)) / (1.0 + np.exp(np.clip(x, -88.0, None))))
-        val = val.astype(x.dtype, copy=False)
+        val = K.forward("sigmoid", (), self.data)
         out = self._make(val, (self,))
         if out.requires_grad:
             a = self
@@ -365,26 +394,25 @@ class Tensor:
                 a._accum(g * val * (1.0 - val))
 
             out._backward = _bw
+        K.record("sigmoid", (), (self,), out)
         return out
 
     def relu(self) -> "Tensor":
-        mask = self.data > 0
-        out = self._make(self.data * mask, (self,))
+        out = self._make(K.forward("relu", (), self.data), (self,))
         if out.requires_grad:
             a = self
 
             def _bw(g: np.ndarray) -> None:
-                a._accum(g * mask)
+                a._accum(g * (a.data > 0))
 
             out._backward = _bw
+        K.record("relu", (), (self,), out)
         return out
 
     def gelu(self) -> "Tensor":
         """Gaussian error linear unit (tanh approximation, as in ViT)."""
         x = self.data
-        c = np.sqrt(2.0 / np.pi).astype(x.dtype) if hasattr(np.sqrt(2.0 / np.pi), "astype") else np.sqrt(2.0 / np.pi)
-        inner = c * (x + 0.044715 * x ** 3)
-        t = np.tanh(inner)
+        c, t = K._gelu_constants(x)
         val = 0.5 * x * (1.0 + t)
         out = self._make(val.astype(x.dtype, copy=False), (self,))
         if out.requires_grad:
@@ -395,37 +423,38 @@ class Tensor:
                 a._accum(g * (0.5 * (1.0 + t) + 0.5 * x * dt))
 
             out._backward = _bw
+        K.record("gelu", (), (self,), out)
         return out
 
     def clip(self, lo: float, hi: float) -> "Tensor":
-        mask = (self.data >= lo) & (self.data <= hi)
-        out = self._make(np.clip(self.data, lo, hi), (self,))
+        out = self._make(K.forward("clip", (lo, hi), self.data), (self,))
         if out.requires_grad:
             a = self
 
             def _bw(g: np.ndarray) -> None:
-                a._accum(g * mask)
+                a._accum(g * ((a.data >= lo) & (a.data <= hi)))
 
             out._backward = _bw
+        K.record("clip", (lo, hi), (self,), out)
         return out
 
     def abs(self) -> "Tensor":
-        sign = np.sign(self.data)
-        out = self._make(np.abs(self.data), (self,))
+        out = self._make(K.forward("abs", (), self.data), (self,))
         if out.requires_grad:
             a = self
 
             def _bw(g: np.ndarray) -> None:
-                a._accum(g * sign)
+                a._accum(g * np.sign(a.data))
 
             out._backward = _bw
+        K.record("abs", (), (self,), out)
         return out
 
     # ------------------------------------------------------------------
     # reductions
     # ------------------------------------------------------------------
     def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
-        out = self._make(self.data.sum(axis=axis, keepdims=keepdims), (self,))
+        out = self._make(K.forward("sum", (axis, keepdims), self.data), (self,))
         if out.requires_grad:
             a = self
             in_shape = self.shape
@@ -440,6 +469,7 @@ class Tensor:
                 a._accum(np.broadcast_to(gg, in_shape).astype(a.data.dtype, copy=False) * np.ones(1, dtype=a.data.dtype))
 
             out._backward = _bw
+        K.record("sum", (axis, keepdims), (self,), out)
         return out
 
     def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
@@ -456,11 +486,21 @@ class Tensor:
         return (d * d).mean(axis=axis, keepdims=keepdims)
 
     def max(self, axis=None, keepdims: bool = False) -> "Tensor":
-        val = self.data.max(axis=axis, keepdims=True)
-        out_val = val if keepdims else np.squeeze(val, axis=axis) if axis is not None else val.reshape(())
-        out = self._make(np.asarray(out_val), (self,))
+        out = self._make(np.asarray(K.forward("max", (axis, keepdims),
+                                              self.data)), (self,))
         if out.requires_grad:
             a = self
+            # Rebuild the keepdims view of the kernel result instead of
+            # paying a second O(n) reduction for the backward mask.
+            if keepdims:
+                val = out.data
+            elif axis is None:
+                val = out.data.reshape((1,) * self.data.ndim)
+            else:
+                axes = axis if isinstance(axis, tuple) else (axis,)
+                val = out.data
+                for ax in sorted(x % self.data.ndim for x in axes):
+                    val = np.expand_dims(val, ax)
             mask = (self.data == val)
             counts = mask.sum(axis=axis, keepdims=True)
 
@@ -476,6 +516,7 @@ class Tensor:
                 a._accum(mask * (gg / counts))
 
             out._backward = _bw
+        K.record("max", (axis, keepdims), (self,), out)
         return out
 
     # ------------------------------------------------------------------
@@ -484,7 +525,7 @@ class Tensor:
     def reshape(self, *shape) -> "Tensor":
         if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
             shape = tuple(shape[0])
-        out = self._make(self.data.reshape(shape), (self,))
+        out = self._make(K.forward("reshape", (shape,), self.data), (self,))
         if out.requires_grad:
             a = self
             orig = self.shape
@@ -493,6 +534,7 @@ class Tensor:
                 a._accum(g.reshape(orig))
 
             out._backward = _bw
+        K.record("reshape", (shape,), (self,), out)
         return out
 
     def transpose(self, *axes) -> "Tensor":
@@ -500,7 +542,7 @@ class Tensor:
             axes = tuple(axes[0])
         if not axes:
             axes = tuple(reversed(range(self.ndim)))
-        out = self._make(self.data.transpose(axes), (self,))
+        out = self._make(K.forward("transpose", (axes,), self.data), (self,))
         if out.requires_grad:
             a = self
             inv = tuple(np.argsort(axes))
@@ -509,6 +551,7 @@ class Tensor:
                 a._accum(g.transpose(inv))
 
             out._backward = _bw
+        K.record("transpose", (axes,), (self,), out)
         return out
 
     def swapaxes(self, a1: int, a2: int) -> "Tensor":
@@ -517,7 +560,7 @@ class Tensor:
         return self.transpose(tuple(axes))
 
     def __getitem__(self, idx) -> "Tensor":
-        out = self._make(self.data[idx], (self,))
+        out = self._make(K.forward("getitem", (idx,), self.data), (self,))
         if out.requires_grad:
             a = self
 
@@ -527,6 +570,7 @@ class Tensor:
                 a._accum(full)
 
             out._backward = _bw
+        K.record("getitem", (idx,), (self,), out)
         return out
 
     # ------------------------------------------------------------------
@@ -534,7 +578,8 @@ class Tensor:
     # ------------------------------------------------------------------
     def matmul(self, other: "Tensor") -> "Tensor":
         other = self._coerce(other)
-        out = self._make(self.data @ other.data, (self, other))
+        out = self._make(K.forward("matmul", (), self.data, other.data),
+                         (self, other))
         if out.requires_grad:
             a, b = self, other
 
@@ -553,6 +598,7 @@ class Tensor:
                     b._accum(_unbroadcast(gb, b.shape))
 
             out._backward = _bw
+        K.record("matmul", (), (self, other), out)
         return out
 
     __matmul__ = matmul
@@ -589,7 +635,7 @@ def ones(shape, dtype=np.float32, requires_grad: bool = False) -> Tensor:
 def concat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
     """Concatenate tensors along ``axis`` with gradient routing."""
     tensors = [Tensor._coerce(t) for t in tensors]
-    data = np.concatenate([t.data for t in tensors], axis=axis)
+    data = K.forward("concat", (axis,), *[t.data for t in tensors])
     out = tensors[0]._make(data, tuple(tensors))
     if out.requires_grad:
         sizes = [t.shape[axis] for t in tensors]
@@ -602,13 +648,14 @@ def concat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
                     t._accum(gpart)
 
         out._backward = _bw
+    K.record("concat", (axis,), tuple(tensors), out)
     return out
 
 
 def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
     """Stack tensors along a new ``axis`` with gradient routing."""
     tensors = [Tensor._coerce(t) for t in tensors]
-    data = np.stack([t.data for t in tensors], axis=axis)
+    data = K.forward("stack", (axis,), *[t.data for t in tensors])
     out = tensors[0]._make(data, tuple(tensors))
     if out.requires_grad:
         parts = tensors
@@ -619,4 +666,5 @@ def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
                     t._accum(np.take(g, i, axis=axis))
 
         out._backward = _bw
+    K.record("stack", (axis,), tuple(tensors), out)
     return out

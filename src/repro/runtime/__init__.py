@@ -1,0 +1,26 @@
+"""``repro.runtime`` — the compiled inference runtime.
+
+Trace a model's shape-stable ``forward_core`` once into a static op graph
+(:mod:`.trace`), then compile it into an execution plan with constant
+folding, fused transformer kernels, and liveness-planned buffer reuse
+(:mod:`.compile`). Compiled plans replay the exact kernels of the eager
+tape (:mod:`repro.nn.kernels`), so their outputs are bit-identical to the
+eager ``no_grad`` forward — verified property-style in the test suite and
+on every benchmark run.
+
+Typical use::
+
+    model.eval()
+    cm = runtime.compile_model(model, tokens, coords, valid)
+    logits = cm(tokens, coords, valid)          # plan-owned array
+
+For serving (micro-batching, length bucketing, plan caching) use
+:class:`repro.serve.Predictor`, which manages one compiled plan per input
+signature.
+"""
+
+from .compile import CompiledModel, ExecutionPlan, compile_graph, compile_model
+from .trace import Graph, Node, trace
+
+__all__ = ["Graph", "Node", "trace", "ExecutionPlan", "CompiledModel",
+           "compile_graph", "compile_model"]

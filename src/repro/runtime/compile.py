@@ -1,0 +1,489 @@
+"""Graph compilation: folding, fusion, liveness-planned buffers, execution.
+
+:func:`compile_graph` lowers a traced :class:`~repro.runtime.trace.Graph`
+into an :class:`ExecutionPlan` — a flat list of closures over concrete,
+preallocated NumPy arrays:
+
+1. **Dead-code elimination** — only nodes reachable from the output run.
+2. **Constant folding** — ops whose operands are all trace-time constants
+   (weight transposes, positional-table slices, coerced scalars) evaluate
+   once at compile time. View kernels fold to *views*, so in-place weight
+   updates stay visible to the plan.
+3. **Fusion** — the transformer hot spots collapse into single steps:
+   ``linear`` / ``linear_gelu`` (matmul + bias add + GELU in one buffer)
+   and ``sdpa`` (QK^T → scale → bias → softmax, all in-place on one scores
+   buffer, then the value matmul). LayerNorm runs as a single out= kernel.
+4. **Liveness-based buffer reuse** — every op output draws from a
+   (shape, dtype)-keyed pool; an operand's buffer returns to the pool at
+   its last use, and elementwise ops whose dying input matches the output
+   shape run fully in place. On a 1-CPU, bandwidth-bound host this — not
+   FLOP reduction — is where the speedup lives.
+
+Execution replays *exactly* the kernel arithmetic the eager tape ran
+(``out=`` ufuncs produce identical bits), so a compiled forward is
+bit-identical to the eager ``no_grad`` forward it was traced from.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..nn import kernels as K
+from .trace import VIEW_OPS, Graph, trace
+
+__all__ = ["ExecutionPlan", "CompiledModel", "compile_graph", "compile_model"]
+
+#: Kernels whose out= variant may alias an input buffer (elementwise, or
+#: structured kernels written to tolerate out-aliasing — see kernels.py).
+_INPLACE_SAFE = frozenset({
+    "add", "sub", "mul", "div", "neg", "exp", "log", "sqrt", "tanh",
+    "relu", "abs", "clip", "gelu", "softmax", "layer_norm",
+})
+
+
+class _BufferPool:
+    """(shape, dtype)-keyed free list of plan-owned arrays."""
+
+    def __init__(self) -> None:
+        self._free: Dict[tuple, List[np.ndarray]] = {}
+        self.allocated = 0
+        self.reused = 0
+
+    def get(self, shape: Tuple[int, ...], dtype) -> np.ndarray:
+        key = (tuple(shape), np.dtype(dtype))
+        free = self._free.get(key)
+        if free:
+            self.reused += 1
+            return free.pop()
+        self.allocated += 1
+        return np.empty(key[0], dtype=key[1])
+
+    def release(self, arr: np.ndarray) -> None:
+        self._free.setdefault((arr.shape, arr.dtype), []).append(arr)
+
+
+class ExecutionPlan:
+    """A compiled graph: preallocated buffers + a flat step list.
+
+    ``run(feeds)`` copies the feeds into fixed input buffers, fires each
+    step, and returns the output array. The returned array is **owned by
+    the plan** and overwritten by the next ``run`` — copy it to persist.
+    """
+
+    def __init__(self, signature: tuple) -> None:
+        self.signature = signature
+        self._steps: List[Tuple[str, Callable[[], None]]] = []
+        self._input_bufs: Dict[str, np.ndarray] = {}
+        self._out: Optional[np.ndarray] = None
+        self._scratch: Dict[tuple, np.ndarray] = {}
+        self.stats: Dict[str, int] = {}
+
+    # -- build-time helpers (used by compile_graph) ----------------------
+    def scratch(self, shape, dtype) -> np.ndarray:
+        """One persistent scratch array per (shape, dtype) — kernels use at
+        most one scratch of a given shape per call."""
+        key = (tuple(shape), np.dtype(dtype))
+        buf = self._scratch.get(key)
+        if buf is None:
+            buf = np.empty(key[0], dtype=key[1])
+            self._scratch[key] = buf
+        return buf
+
+    def add_step(self, name: str, fn: Callable[[], None]) -> None:
+        self._steps.append((name, fn))
+
+    # -- run time --------------------------------------------------------
+    def run(self, feeds: Dict[str, np.ndarray]) -> np.ndarray:
+        bufs = self._input_bufs
+        if len(feeds) != len(bufs):
+            raise ValueError(f"plan expects inputs {sorted(bufs)}, "
+                             f"got {sorted(feeds)}")
+        for name, buf in bufs.items():
+            np.copyto(buf, feeds[name], casting="no")
+        for _, step in self._steps:
+            step()
+        return self._out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ExecutionPlan({len(self._steps)} steps, {self.stats})"
+
+
+def _check_sdpa(nodes, const, cons, single, i):
+    """Match QK^T → scale-mul → [bias-add] → softmax(-1) → @V at matmul
+    ``i``. Returns (members, bias_idx, scale_idx, softmax_axis, v_idx)."""
+    mm1 = nodes[i]
+    if not single(i):
+        return None
+    j = cons[i][0]
+    mul = nodes[j]
+    if mul.op != "mul" or not single(j):
+        return None
+    others = [x for x in mul.inputs if x != i]
+    if len(others) != 1 or others[0] not in const:
+        return None
+    scale_idx = others[0]
+    if const[scale_idx].ndim != 0:
+        return None
+    nxt_idx = cons[j][0]
+    nxt = nodes[nxt_idx]
+    bias_idx = None
+    members = [i, j]
+    if nxt.op == "add":
+        if not single(nxt_idx):
+            return None
+        others = [x for x in nxt.inputs if x != j]
+        if len(others) != 1:
+            return None
+        bias_idx = others[0]
+        members.append(nxt_idx)
+        nxt_idx = cons[nxt_idx][0]
+        nxt = nodes[nxt_idx]
+    if nxt.op != "softmax" or not single(nxt_idx):
+        return None
+    axis = nxt.params[0]
+    if axis not in (-1, len(nxt.shape) - 1):
+        return None
+    members.append(nxt_idx)
+    mm2_idx = cons[nxt_idx][0]
+    mm2 = nodes[mm2_idx]
+    if mm2.op != "matmul" or mm2.inputs[0] != nxt_idx:
+        return None
+    members.append(mm2_idx)
+    # Shape/dtype stability across the in-place chain.
+    if any(nodes[m].shape != mm1.shape or nodes[m].dtype != mm1.dtype
+           for m in members[:-1]):
+        return None
+    # External operands must be bindable before the anchor step.
+    for ext in (mm1.inputs[0], mm1.inputs[1], bias_idx, mm2.inputs[1]):
+        if ext is not None and ext >= i and ext not in const \
+                and nodes[ext].op != "input":
+            return None
+    return members, bias_idx, scale_idx, axis, mm2.inputs[1]
+
+
+def _check_linear(nodes, const, cons, single, i):
+    """Match matmul → const-bias add [→ gelu] at matmul ``i``.
+    Returns (members, bias_idx, bias_first, fuse_gelu)."""
+    mm = nodes[i]
+    if not single(i):
+        return None
+    j = cons[i][0]
+    add = nodes[j]
+    if add.op != "add" or add.shape != mm.shape or add.dtype != mm.dtype:
+        return None
+    others = [x for x in add.inputs if x != i]
+    if len(others) != 1 or others[0] not in const:
+        return None
+    bias_idx = others[0]
+    members = [i, j]
+    fuse_gelu = False
+    if single(j):
+        k2 = cons[j][0]
+        g = nodes[k2]
+        if g.op == "gelu" and g.shape == add.shape and g.dtype == add.dtype:
+            members.append(k2)
+            fuse_gelu = True
+    return members, bias_idx, add.inputs[0] == bias_idx, fuse_gelu
+
+
+def compile_graph(graph: Graph) -> ExecutionPlan:
+    """Lower a traced graph into a bound, buffer-planned execution plan."""
+    nodes = graph.nodes
+
+    # -- 1. reachability --------------------------------------------------
+    live = set()
+    stack = [graph.output]
+    while stack:
+        i = stack.pop()
+        if i in live:
+            continue
+        live.add(i)
+        stack.extend(nodes[i].inputs)
+
+    # -- 2. constant folding ----------------------------------------------
+    const: Dict[int, np.ndarray] = {}
+    for n in nodes:
+        if n.idx not in live:
+            continue
+        if n.op == "const":
+            const[n.idx] = n.array
+        elif n.op != "input" and all(i in const for i in n.inputs):
+            const[n.idx] = K.KERNELS[n.op].fn(
+                n.params, *[const[i] for i in n.inputs])
+
+    # -- consumer map over live, unfolded nodes ---------------------------
+    cons: Dict[int, List[int]] = {}
+    for n in nodes:
+        if n.idx in live and n.idx not in const and n.op not in ("input",):
+            for i in n.inputs:
+                cons.setdefault(i, []).append(n.idx)
+
+    def single(i: int) -> bool:
+        return len(cons.get(i, ())) == 1 and i != graph.output
+
+    # -- 3. fusion grouping -----------------------------------------------
+    # groups: anchor idx -> ("kind", payload); fused interiors are skipped.
+    groups: Dict[int, tuple] = {}
+    interior = set()
+    for n in nodes:
+        i = n.idx
+        if i not in live or i in const or i in interior \
+                or n.op in ("input", "const"):
+            continue
+        if n.op == "matmul":
+            m = _check_sdpa(nodes, const, cons, single, i)
+            if m is not None:
+                members, bias_idx, scale_idx, axis, v_idx = m
+                groups[i] = ("sdpa", members, bias_idx, scale_idx, axis, v_idx)
+                interior.update(members[1:])
+                continue
+            m = _check_linear(nodes, const, cons, single, i)
+            if m is not None:
+                members, bias_idx, bias_first, fuse_gelu = m
+                groups[i] = ("linear", members, bias_idx, bias_first, fuse_gelu)
+                interior.update(members[1:])
+                continue
+        groups[i] = ("node", [i])
+
+    # -- 4. liveness over groups ------------------------------------------
+    def find_root(i: int) -> int:
+        while nodes[i].op in VIEW_OPS and i not in const:
+            i = nodes[i].inputs[0]
+        return i
+
+    uses: Counter = Counter()
+    ordered_anchors = sorted(groups)
+    ext_roots: Dict[int, set] = {}
+    for a in ordered_anchors:
+        kind, members = groups[a][0], groups[a][1]
+        memberset = set(members)
+        roots = set()
+        for m in members:
+            for i in nodes[m].inputs:
+                if i not in memberset:
+                    roots.add(find_root(i))
+        if kind == "sdpa":
+            roots.add(find_root(groups[a][5]))   # v
+        ext_roots[a] = roots
+        for r in roots:
+            uses[r] += 1
+    uses[find_root(graph.output)] += 1           # never released
+
+    # -- 5. bind + emit ----------------------------------------------------
+    plan = ExecutionPlan(graph.signature)
+    pool = _BufferPool()
+    bound: Dict[int, np.ndarray] = {}
+    ownerbuf: Dict[int, Optional[np.ndarray]] = {}
+    fused_linear = fused_sdpa = inplace_ops = 0
+
+    for name, i in graph.inputs.items():
+        n = nodes[i]
+        buf = np.empty(n.shape, dtype=n.dtype)
+        plan._input_bufs[name] = buf
+        bound[i] = buf
+        ownerbuf[i] = None
+
+    def arr(i: int) -> np.ndarray:
+        if i in const:
+            return const[i]
+        return bound[i]
+
+    def emit_view(n) -> bool:
+        """Bind a view node statically; False if it needs a runtime copy."""
+        parent = arr(n.inputs[0])
+        view = K.KERNELS[n.op].fn(n.params, parent)
+        if view.base is not None and np.shares_memory(view, parent):
+            bound[n.idx] = view
+            ownerbuf[n.idx] = None      # lifetime tracked via find_root
+            return True
+        return False
+
+    def release_roots(anchor: int, keep: set) -> None:
+        for r in ext_roots[anchor]:
+            uses[r] -= 1
+            buf = ownerbuf.get(r)
+            if uses[r] == 0 and buf is not None and id(buf) not in keep:
+                pool.release(buf)
+
+    sc = plan.scratch
+    for a in ordered_anchors:
+        spec = groups[a]
+        kind = spec[0]
+        n = nodes[a]
+        keep: set = set()
+
+        if kind == "sdpa":
+            _, members, bias_idx, scale_idx, axis, v_idx = spec
+            mm1, mm2 = nodes[members[0]], nodes[members[-1]]
+            q, kT = arr(mm1.inputs[0]), arr(mm1.inputs[1])
+            v = arr(v_idx)
+            scale = const[scale_idx]
+            bias = arr(bias_idx) if bias_idx is not None else None
+            S = pool.get(mm1.shape, mm1.dtype)
+            C = pool.get(mm2.shape, mm2.dtype)
+
+            if bias is None:
+                def run(q=q, kT=kT, v=v, scale=scale, S=S, C=C, axis=axis):
+                    np.matmul(q, kT, out=S)
+                    np.multiply(S, scale, out=S)
+                    m = S.max(axis=axis, keepdims=True)
+                    np.subtract(S, m, out=S)
+                    np.exp(S, out=S)
+                    z = S.sum(axis=axis, keepdims=True)
+                    np.divide(S, z, out=S)
+                    np.matmul(S, v, out=C)
+            else:
+                def run(q=q, kT=kT, v=v, scale=scale, bias=bias, S=S, C=C,
+                        axis=axis):
+                    np.matmul(q, kT, out=S)
+                    np.multiply(S, scale, out=S)
+                    np.add(S, bias, out=S)
+                    m = S.max(axis=axis, keepdims=True)
+                    np.subtract(S, m, out=S)
+                    np.exp(S, out=S)
+                    z = S.sum(axis=axis, keepdims=True)
+                    np.divide(S, z, out=S)
+                    np.matmul(S, v, out=C)
+
+            plan.add_step("sdpa", run)
+            out_idx = members[-1]
+            bound[out_idx] = C
+            ownerbuf[out_idx] = C
+            keep.add(id(C))
+            release_roots(a, keep)
+            pool.release(S)             # scores die inside the group
+            fused_sdpa += 1
+            continue
+
+        if kind == "linear":
+            _, members, bias_idx, bias_first, fuse_gelu = spec
+            mm = nodes[members[0]]
+            out_node = nodes[members[-1]]
+            x, w = arr(mm.inputs[0]), arr(mm.inputs[1])
+            bias = const[bias_idx]
+            out = pool.get(out_node.shape, out_node.dtype)
+
+            if fuse_gelu:
+                def run(x=x, w=w, bias=bias, out=out, bias_first=bias_first):
+                    np.matmul(x, w, out=out)
+                    if bias_first:
+                        np.add(bias, out, out=out)
+                    else:
+                        np.add(out, bias, out=out)
+                    K._gelu_out((), out, sc, out)
+            else:
+                def run(x=x, w=w, bias=bias, out=out, bias_first=bias_first):
+                    np.matmul(x, w, out=out)
+                    if bias_first:
+                        np.add(bias, out, out=out)
+                    else:
+                        np.add(out, bias, out=out)
+
+            plan.add_step("linear_gelu" if fuse_gelu else "linear", run)
+            out_idx = members[-1]
+            bound[out_idx] = out
+            ownerbuf[out_idx] = out
+            keep.add(id(out))
+            release_roots(a, keep)
+            fused_linear += 1
+            continue
+
+        # -- single node ---------------------------------------------------
+        if n.op in VIEW_OPS and emit_view(n):
+            # Pure view: no step; defer liveness to downstream consumers.
+            release_roots(a, keep={id(ownerbuf.get(find_root(n.idx)))})
+            continue
+
+        kernel = K.KERNELS[n.op]
+        ins = [arr(i) for i in n.inputs]
+
+        if n.op in VIEW_OPS:
+            # Non-viewable reshape / advanced getitem: runtime copy.
+            out = pool.get(n.shape, n.dtype)
+            if n.op == "reshape":
+                src = ins[0]
+                ov = out.reshape(src.shape)
+
+                def run(ov=ov, src=src):
+                    np.copyto(ov, src)
+            else:
+                def run(out=out, kernel=kernel, params=n.params, ins=ins):
+                    np.copyto(out, kernel.fn(params, *ins))
+            plan.add_step(f"{n.op}_copy", run)
+        else:
+            # In-place: reuse a dying, shape/dtype-matched operand buffer.
+            out = None
+            if n.op in _INPLACE_SAFE and kernel.fn_out is not None:
+                for i in n.inputs:
+                    r = find_root(i)
+                    buf = ownerbuf.get(r)
+                    if (buf is not None and uses[r] == 1
+                            and bound[i] is buf
+                            and buf.shape == n.shape
+                            and buf.dtype == n.dtype):
+                        out = buf
+                        inplace_ops += 1
+                        break
+            if out is None:
+                out = pool.get(n.shape, n.dtype)
+            if kernel.fn_out is not None:
+                def run(out=out, kernel=kernel, params=n.params, ins=ins):
+                    kernel.fn_out(params, out, sc, *ins)
+            else:
+                def run(out=out, kernel=kernel, params=n.params, ins=ins):
+                    np.copyto(out, kernel.fn(params, *ins))
+            plan.add_step(n.op, run)
+
+        bound[n.idx] = out
+        ownerbuf[n.idx] = out
+        keep.add(id(out))
+        release_roots(a, keep)
+
+    plan._out = arr(graph.output)
+    plan.stats = {
+        "steps": len(plan._steps),
+        "fused_linear": fused_linear,
+        "fused_sdpa": fused_sdpa,
+        "inplace": inplace_ops,
+        "buffers": pool.allocated,
+        "buffer_reuse": pool.reused,
+    }
+    return plan
+
+
+class CompiledModel:
+    """A model bound to one compiled plan (one input signature).
+
+    Calling it mirrors ``model.forward(tokens, coords, valid)`` but runs
+    the plan; the returned logits array is plan-owned (overwritten by the
+    next call).
+    """
+
+    def __init__(self, model, graph: Graph, plan: ExecutionPlan):
+        self.model = model
+        self.graph = graph
+        self.plan = plan
+
+    def __call__(self, tokens: np.ndarray, coords=None,
+                 valid=None) -> np.ndarray:
+        feeds = self.model.prepare_inputs(tokens, coords, valid)
+        return self.plan.run(feeds)
+
+
+def compile_model(model, tokens: np.ndarray, coords=None,
+                  valid=None) -> CompiledModel:
+    """Trace ``model.forward_core`` on example inputs and compile it.
+
+    The model must expose the shape-stable split (``prepare_inputs`` /
+    ``forward_core``) — ViTSegmenter, VolumeViTSegmenter, ViTClassifier and
+    ViTBackbone do — and should be in ``eval()`` mode (tracing stochastic
+    dropout raises). One plan serves every batch with the same input
+    signature (shapes + dtypes + presence of coords/valid).
+    """
+    feeds = model.prepare_inputs(tokens, coords, valid)
+    graph = trace(model.forward_core, feeds)
+    plan = compile_graph(graph)
+    return CompiledModel(model, graph, plan)

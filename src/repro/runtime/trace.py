@@ -1,0 +1,159 @@
+"""Graph capture: run a Tensor function once, record its op tape.
+
+:func:`trace` arms the kernel table's thread-local trace hook
+(:func:`repro.nn.kernels.set_tracer`), feeds the function placeholder
+Tensors, and turns the stream of ``(op, params, inputs, out)`` events into a
+static :class:`Graph`: one :class:`Node` per executed kernel, plus ``input``
+nodes for the placeholders and ``const`` nodes for every foreign array the
+tape touched (weights, folded masks, coerced scalars).
+
+The recorded order *is* a topological order — ops were appended as they
+executed — which the compiler exploits directly.
+
+Const nodes hold **references** (no copies) to the arrays they saw, so a
+plan compiled from the graph observes in-place parameter updates (the
+in-place optimizers in :mod:`repro.nn.optim`) but must be re-traced if a
+parameter array object is *rebound* (``load_state_dict`` copies into fresh
+arrays).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..nn import kernels as K
+from ..nn.tensor import Tensor, no_grad
+
+__all__ = ["Node", "Graph", "trace"]
+
+#: Ops whose output is (attempted as) a NumPy view of their input.
+VIEW_OPS = frozenset({"reshape", "transpose", "getitem"})
+
+
+@dataclass
+class Node:
+    """One vertex of a traced graph.
+
+    ``op`` is a kernel name from :data:`repro.nn.kernels.KERNELS`, or the
+    pseudo-ops ``"input"`` (placeholder fed at run time) / ``"const"``
+    (array captured by reference at trace time).
+    """
+
+    idx: int
+    op: str
+    params: tuple = ()
+    inputs: Tuple[int, ...] = ()
+    shape: Tuple[int, ...] = ()
+    dtype: Optional[np.dtype] = None
+    array: Optional[np.ndarray] = None      # const nodes only
+    name: str = ""                          # input nodes only
+
+
+@dataclass
+class Graph:
+    """A static op graph captured by :func:`trace`."""
+
+    nodes: List[Node] = field(default_factory=list)
+    inputs: Dict[str, int] = field(default_factory=dict)
+    output: int = -1
+
+    def node(self, idx: int) -> Node:
+        return self.nodes[idx]
+
+    @property
+    def signature(self) -> tuple:
+        """(name, shape, dtype) triple per input — the plan-cache key."""
+        return tuple((name, self.nodes[i].shape, str(self.nodes[i].dtype))
+                     for name, i in sorted(self.inputs.items()))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        ops = sum(1 for n in self.nodes if n.op not in ("input", "const"))
+        return (f"Graph({ops} ops, {len(self.inputs)} inputs, "
+                f"{len(self.nodes) - ops - len(self.inputs)} consts)")
+
+
+class _Tracer:
+    """Receives op events from the kernel table's trace hook."""
+
+    def __init__(self) -> None:
+        self.nodes: List[Node] = []
+        self._node_of: Dict[int, int] = {}   # id(tensor) -> node idx
+        # Strong refs to every Tensor seen: keeps id()s stable for the
+        # duration of the trace (CPython reuses addresses after GC).
+        self._keepalive: List[Tensor] = []
+
+    def _add(self, node: Node, tensor: Optional[Tensor]) -> int:
+        node.idx = len(self.nodes)
+        self.nodes.append(node)
+        if tensor is not None:
+            self._node_of[id(tensor)] = node.idx
+            self._keepalive.append(tensor)
+        return node.idx
+
+    def add_input(self, name: str, tensor: Tensor) -> int:
+        return self._add(Node(-1, "input", shape=tensor.shape,
+                              dtype=tensor.dtype, name=name), tensor)
+
+    def _ensure(self, tensor: Tensor) -> int:
+        idx = self._node_of.get(id(tensor))
+        if idx is None:
+            idx = self._add(Node(-1, "const", shape=tensor.shape,
+                                 dtype=tensor.dtype, array=tensor.data),
+                            tensor)
+        return idx
+
+    def record(self, op: str, params, inputs, out: Tensor) -> None:
+        in_idx = tuple(self._ensure(t) for t in inputs)
+        self._add(Node(-1, op, params=tuple(params), inputs=in_idx,
+                       shape=out.shape, dtype=out.dtype), out)
+
+    def lookup(self, tensor: Tensor) -> Optional[int]:
+        return self._node_of.get(id(tensor))
+
+
+def trace(fn, feeds: Dict[str, np.ndarray]) -> Graph:
+    """Trace ``fn(**tensors)`` into a :class:`Graph`.
+
+    Parameters
+    ----------
+    fn:
+        A function of keyword Tensor arguments returning a single Tensor —
+        typically a model's ``forward_core``. It must be *shape-stable*:
+        no data-dependent branching, no randomness (stochastic dropout
+        raises), one op stream per input signature.
+    feeds:
+        Example input arrays, keyed by ``fn``'s argument names. Their
+        shapes and dtypes define the signature the compiled plan serves.
+
+    The trace runs under ``no_grad`` (no tape closures are built) and arms
+    the tracer for the current thread only, so concurrent eager work in
+    other threads is unaffected.
+    """
+    tracer = _Tracer()
+    tensors: Dict[str, Tensor] = {}
+    for name, arr in feeds.items():
+        t = Tensor(arr)
+        tracer.add_input(name, t)
+        tensors[name] = t
+
+    prev = K.set_tracer(tracer)
+    try:
+        with no_grad():
+            out = fn(**tensors)
+    finally:
+        K.set_tracer(prev)
+
+    if not isinstance(out, Tensor):
+        raise TypeError(f"traced function must return a Tensor, got "
+                        f"{type(out).__name__}")
+    out_idx = tracer.lookup(out)
+    if out_idx is None:
+        raise RuntimeError("traced function's output was not produced by a "
+                           "recorded op (did it bypass the kernel table?)")
+    graph = Graph(nodes=tracer.nodes,
+                  inputs={name: tracer.lookup(t) for name, t in tensors.items()},
+                  output=out_idx)
+    return graph

@@ -1,0 +1,12 @@
+"""``repro.serve`` — the micro-batching inference front-end.
+
+:class:`Predictor` turns (model + :class:`~repro.pipeline.engine.
+PatchPipeline`) into a serving stack: cached APF preprocessing, sequence-
+length bucketing, micro-batched compiled execution
+(:mod:`repro.runtime`), and vectorized map stitching (:mod:`.stitch`).
+"""
+
+from .predictor import Predictor, predict_image
+from .stitch import stitch_image, stitch_volume
+
+__all__ = ["Predictor", "predict_image", "stitch_image", "stitch_volume"]

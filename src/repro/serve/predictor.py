@@ -1,0 +1,208 @@
+"""The micro-batching inference front-end.
+
+:class:`Predictor` is the serving counterpart of the training pipeline:
+it pulls natural (pre-drop) sequences from a
+:class:`~repro.pipeline.engine.PatchPipeline` (LRU-cached, worker-sharded)
+or any patcher, **buckets** their variable lengths onto a small ladder of
+padded lengths, micro-batches same-bucket sequences, executes one compiled
+:class:`~repro.runtime.compile.ExecutionPlan` per input signature, and
+stitches per-token predictions back to full-resolution maps with the
+vectorized scatter in :mod:`.stitch`.
+
+Bucketing semantics
+-------------------
+A sequence of natural length ``n`` is zero-padded (``valid=False`` slots)
+to the smallest multiple of ``bucket`` ≥ ``n``, capped at the model's
+positional-table size; longer sequences are randomly dropped to the cap
+with a deterministic per-(seed, length, bucket) RNG. One compiled plan then
+serves *every* request landing in the same (batch, length) signature; the
+plan cache is bounded by ``max_batch x |length buckets|``, and under steady
+traffic almost all requests ride a handful of full-batch plans.
+
+Numerics: with ``compiled=True`` (default) every forward is bit-identical
+to the eager ``no_grad`` forward on the same collated batch — the
+``compiled=False`` switch exists precisely so tests and benches can assert
+that equality end-to-end.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Hashable, List, Optional, Sequence
+
+import numpy as np
+
+from ..models.embedding import collate_sequences
+from ..nn import kernels as K
+from ..runtime import compile_model
+from .. import nn
+from ..train.volumetric import predict_volume_batched
+from .stitch import stitch_image, stitch_volume
+
+__all__ = ["Predictor", "predict_image"]
+
+
+class Predictor:
+    """Micro-batched (optionally compiled) inference over APF sequences.
+
+    Parameters
+    ----------
+    model:
+        A segmenter exposing the shape-stable split (``prepare_inputs`` /
+        ``forward_core``) plus ``patch_size`` / ``out_channels`` —
+        :class:`~repro.models.vit.ViTSegmenter` or
+        :class:`~repro.models.vit.VolumeViTSegmenter`. Switched to
+        ``eval()`` mode on construction.
+    pipeline:
+        A :class:`~repro.pipeline.engine.PatchPipeline` (preferred: batch
+        kernels + LRU cache) or any patcher with ``extract_natural`` /
+        ``fit_length``.
+    max_batch:
+        Micro-batch ceiling per plan execution.
+    bucket:
+        Length-bucket granularity (padded lengths are multiples of this).
+    compiled:
+        ``False`` runs the same bucketing/batching through the eager
+        tape — the baseline the compiled path is benchmarked and
+        bit-compared against.
+
+    Examples
+    --------
+    >>> pipe = PatchPipeline(patch_size=4, split_value=8.0)
+    >>> server = Predictor(model, pipe, max_batch=8)
+    >>> probs = server.predict_image(image)          # (K, Z, Z)
+    >>> maps = server.predict_batch(images)          # list of (K, Z, Z)
+    """
+
+    def __init__(self, model, pipeline, *, max_batch: int = 8,
+                 bucket: int = 32, compiled: bool = True, drop_seed: int = 0):
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if bucket < 1:
+            raise ValueError("bucket must be >= 1")
+        self.model = model.eval()
+        self.pipeline = pipeline
+        self.max_batch = max_batch
+        self.bucket = bucket
+        self.compiled = compiled
+        self.drop_seed = drop_seed
+        self.max_len = model.backbone.embed.max_len
+        self._plans: dict = {}
+        self._fit = (pipeline.patcher.fit_length
+                     if hasattr(pipeline, "patcher") else pipeline.fit_length)
+        self.stats = {"images": 0, "batches": 0, "plans": 0,
+                      "compile_seconds": 0.0, "padded_tokens": 0,
+                      "real_tokens": 0}
+
+    # -- sequence acquisition ---------------------------------------------
+    def _naturals(self, images: Sequence[np.ndarray],
+                  keys: Optional[Sequence[Hashable]]) -> List:
+        if hasattr(self.pipeline, "process"):        # PatchPipeline
+            return self.pipeline.process(images, keys)
+        return [self.pipeline.extract_natural(np.asarray(im))
+                for im in images]
+
+    # -- bucketing ---------------------------------------------------------
+    def bucket_length(self, n: int) -> int:
+        """Smallest bucket multiple >= n, capped at the positional table."""
+        b = -(-max(n, 1) // self.bucket) * self.bucket
+        return min(b, self.max_len)
+
+    def _fit_to(self, seq, length: int):
+        if len(seq) == length:
+            return seq
+        if len(seq) < length:
+            return self._fit(seq, length)            # pure zero-pad, no RNG
+        rng = np.random.default_rng((self.drop_seed, len(seq), length))
+        return self._fit(seq, length, rng=rng)       # deterministic drop
+
+    # -- execution ---------------------------------------------------------
+    def _forward(self, tokens, coords, valid) -> np.ndarray:
+        if not self.compiled:
+            with nn.no_grad():
+                return self.model.forward(tokens, coords, valid).data
+        key = (tokens.shape, valid.shape)
+        cm = self._plans.get(key)
+        if cm is None:
+            t0 = time.perf_counter()
+            cm = compile_model(self.model, tokens, coords, valid)
+            self._plans[key] = cm
+            self.stats["plans"] = len(self._plans)
+            self.stats["compile_seconds"] += time.perf_counter() - t0
+        return cm(tokens, coords, valid)
+
+    def _stitch(self, seq, logits_row: np.ndarray) -> np.ndarray:
+        pm = self.model.patch_size
+        k = self.model.out_channels
+        if hasattr(seq, "scatter_to_volume"):
+            maps = logits_row.reshape(len(seq), k, pm, pm, pm)
+            return stitch_volume(seq, K.forward("sigmoid", (), maps[:, 0]))
+        maps = logits_row.reshape(len(seq), k, pm, pm)
+        return stitch_image(seq, K.forward("sigmoid", (), maps))
+
+    # -- public API --------------------------------------------------------
+    def predict_sequences(self, seqs: Sequence) -> List[np.ndarray]:
+        """Probability maps for pre-extracted natural sequences, in order."""
+        results: List[Optional[np.ndarray]] = [None] * len(seqs)
+        groups: dict = {}
+        for i, seq in enumerate(seqs):
+            groups.setdefault(self.bucket_length(len(seq)), []).append(i)
+        for length, idxs in sorted(groups.items()):
+            for start in range(0, len(idxs), self.max_batch):
+                chunk = idxs[start:start + self.max_batch]
+                fitted = [self._fit_to(seqs[i], length) for i in chunk]
+                self.stats["real_tokens"] += sum(len(seqs[i]) for i in chunk)
+                self.stats["padded_tokens"] += len(chunk) * length
+                tokens, coords, valid = collate_sequences(fitted)
+                logits = self._forward(tokens, coords, valid)
+                for j, i in enumerate(chunk):
+                    results[i] = self._stitch(fitted[j], logits[j])
+                self.stats["batches"] += 1
+        self.stats["images"] += len(seqs)
+        return results  # type: ignore[return-value]
+
+    def predict_batch(self, images: Sequence[np.ndarray],
+                      keys: Optional[Sequence[Hashable]] = None
+                      ) -> List[np.ndarray]:
+        """Full-resolution probability maps for a batch of images/volumes."""
+        return self.predict_sequences(self._naturals(images, keys))
+
+    def predict_image(self, image: np.ndarray,
+                      key: Optional[Hashable] = None) -> np.ndarray:
+        """Single image/volume -> (K, Z, Z) (or (Z, Z, Z)) probabilities.
+
+        Mirrors ``model.predict_mask`` / ``model.predict_volume_probs``
+        through the serving stack.
+        """
+        return self.predict_batch([image],
+                                  None if key is None else [key])[0]
+
+    def predict_class_slices(self, slices: Sequence[np.ndarray]
+                             ) -> List[np.ndarray]:
+        """Per-slice class maps (argmax over channels; threshold at 0.5 for
+        single-channel binary heads) — the callable
+        :func:`~repro.train.volumetric.predict_volume_batched` expects."""
+        out = []
+        for probs in self.predict_batch(list(slices)):
+            if probs.shape[0] == 1:
+                out.append((probs[0] >= 0.5).astype(np.int64))
+            else:
+                out.append(probs.argmax(axis=0))
+        return out
+
+    def predict_volume(self, volume: np.ndarray,
+                       batch_size: Optional[int] = None) -> np.ndarray:
+        """Slice a (S, Z, Z) volume through the 2-D model and restack —
+        the paper's BTCV protocol, micro-batched end to end."""
+        return predict_volume_batched(self.predict_class_slices, volume,
+                                      batch_size or self.max_batch)
+
+
+def predict_image(model, pipeline, image: np.ndarray,
+                  **predictor_kwargs) -> np.ndarray:
+    """One-shot convenience wrapper around :class:`Predictor`.
+
+    For repeated traffic construct a :class:`Predictor` once — compiled
+    plans and the pipeline cache amortize across calls.
+    """
+    return Predictor(model, pipeline, **predictor_kwargs).predict_image(image)

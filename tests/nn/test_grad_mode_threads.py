@@ -1,0 +1,82 @@
+"""Grad mode must be thread-local: ``no_grad`` in a pipeline worker thread
+cannot disable tape construction in the training thread (ISSUE 3
+satellite — ``_GradMode.enabled`` used to be process-global)."""
+
+import threading
+import time
+
+import numpy as np
+
+from repro import nn
+
+
+def test_no_grad_in_worker_does_not_leak_to_other_threads():
+    inside = threading.Event()
+    release = threading.Event()
+    states = {}
+
+    def worker():
+        with nn.no_grad():
+            states["worker"] = nn.is_grad_enabled()
+            inside.set()
+            release.wait(timeout=10)
+        states["worker_after"] = nn.is_grad_enabled()
+
+    t = threading.Thread(target=worker)
+    t.start()
+    assert inside.wait(timeout=10)
+    # Worker sits inside no_grad right now; this thread must be unaffected.
+    assert nn.is_grad_enabled()
+    x = nn.Tensor(np.ones(3), requires_grad=True)
+    y = (x * 2.0).sum()
+    assert y.requires_grad, "tape construction was disabled by another thread"
+    release.set()
+    t.join()
+    assert states["worker"] is False
+    assert states["worker_after"] is True
+    y.backward()
+    np.testing.assert_array_equal(x.grad, 2.0 * np.ones(3))
+
+
+def test_threads_start_with_grad_enabled():
+    states = {}
+
+    def probe():
+        states["fresh"] = nn.is_grad_enabled()
+
+    with nn.no_grad():
+        # A thread spawned while this thread is inside no_grad still starts
+        # with gradients enabled (per-thread default).
+        t = threading.Thread(target=probe)
+        t.start()
+        t.join()
+    assert states["fresh"] is True
+
+
+def test_concurrent_no_grad_and_training_tapes():
+    stop = threading.Event()
+    errors = []
+
+    def no_grad_loop():
+        try:
+            while not stop.is_set():
+                with nn.no_grad():
+                    t = nn.Tensor(np.ones(4), requires_grad=True)
+                    assert not (t * 3.0).requires_grad
+                    time.sleep(0)
+        except Exception as exc:    # pragma: no cover - failure path
+            errors.append(exc)
+
+    worker = threading.Thread(target=no_grad_loop)
+    worker.start()
+    try:
+        for _ in range(50):
+            x = nn.Tensor(np.ones(4), requires_grad=True)
+            y = (x * 2.0 + 1.0).sum()
+            assert y.requires_grad
+            y.backward()
+            np.testing.assert_array_equal(x.grad, 2.0 * np.ones(4))
+    finally:
+        stop.set()
+        worker.join()
+    assert not errors

@@ -1,0 +1,145 @@
+"""In-place optimizer steps (ISSUE 3 satellite).
+
+``SGD``/``Adam``/``AdamW`` now update parameters through preallocated
+scratch buffers with ``out=`` ufuncs. Two contracts are pinned here:
+
+1. the parameter's underlying array object is preserved (so compiled plans
+   and any Tensor aliasing the weights observe updates without recompiling);
+2. the update arithmetic replays the original allocating expressions
+   **bit for bit** — training trajectories are unchanged.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.modules import Parameter
+from repro.nn.optim import SGD, Adam, AdamW
+
+
+def _reference_sgd(p, g, lr, momentum, wd, v):
+    if wd:
+        g = g + wd * p
+    if momentum:
+        v *= momentum
+        v += g
+        g = v
+    p -= lr * g
+
+
+def _reference_adam(p, g, lr, b1, b2, eps, wd, m, v, t):
+    bc1, bc2 = 1.0 - b1 ** t, 1.0 - b2 ** t
+    if wd:
+        g = g + wd * p
+    m *= b1
+    m += (1 - b1) * g
+    v *= b2
+    v += (1 - b2) * (g * g)
+    p -= lr * (m / bc1) / (np.sqrt(v / bc2) + eps)
+
+
+def _reference_adamw(p, g, lr, b1, b2, eps, wd, m, v, t):
+    bc1, bc2 = 1.0 - b1 ** t, 1.0 - b2 ** t
+    m *= b1
+    m += (1 - b1) * g
+    v *= b2
+    v += (1 - b2) * (g * g)
+    if wd:
+        p -= lr * wd * p
+    p -= lr * (m / bc1) / (np.sqrt(v / bc2) + eps)
+
+
+@pytest.mark.parametrize("dtype", [np.float32, np.float64])
+class TestBitIdenticalTrajectories:
+    @pytest.mark.parametrize("momentum,wd", [(0.0, 0.0), (0.9, 0.0),
+                                             (0.0, 0.01), (0.9, 0.01)])
+    def test_sgd(self, dtype, momentum, wd):
+        rng = np.random.default_rng(0)
+        p = Parameter(rng.normal(size=(5, 7)).astype(dtype))
+        ref = p.data.copy()
+        vel = np.zeros_like(ref)
+        opt = SGD([p], lr=0.1, momentum=momentum, weight_decay=wd)
+        for _ in range(6):
+            g = rng.normal(size=p.shape).astype(dtype)
+            p.grad = g.copy()
+            opt.step()
+            _reference_sgd(ref, g.copy(), 0.1, momentum, wd, vel)
+            np.testing.assert_array_equal(p.data, ref)
+
+    @pytest.mark.parametrize("cls,reference", [(Adam, _reference_adam),
+                                               (AdamW, _reference_adamw)])
+    @pytest.mark.parametrize("wd", [0.0, 0.01])
+    def test_adam_family(self, dtype, cls, reference, wd):
+        rng = np.random.default_rng(1)
+        p = Parameter(rng.normal(size=(4, 3)).astype(dtype))
+        ref = p.data.copy()
+        m = np.zeros_like(ref)
+        v = np.zeros_like(ref)
+        opt = cls([p], lr=0.01, weight_decay=wd)
+        for step in range(1, 7):
+            g = rng.normal(size=p.shape).astype(dtype)
+            p.grad = g.copy()
+            opt.step()
+            reference(ref, g.copy(), 0.01, 0.9, 0.999, 1e-8, wd, m, v, step)
+            np.testing.assert_array_equal(p.data, ref)
+
+
+class TestInPlaceSemantics:
+    @pytest.mark.parametrize("make", [
+        lambda ps: SGD(ps, lr=0.1, momentum=0.9, weight_decay=0.01),
+        lambda ps: Adam(ps, lr=0.01, weight_decay=0.01),
+        lambda ps: AdamW(ps, lr=0.01, weight_decay=0.01),
+    ])
+    def test_parameter_array_object_is_preserved(self, make):
+        p = Parameter(np.ones((3, 2), np.float32))
+        base = p.data
+        alias = p.data[0]                      # a live view of the weights
+        opt = make([p])
+        for _ in range(3):
+            p.grad = np.ones((3, 2), np.float32)
+            opt.step()
+        assert p.data is base
+        np.testing.assert_array_equal(alias, p.data[0])
+
+    def test_steps_reuse_scratch_buffers(self):
+        p = Parameter(np.ones((8, 8), np.float32))
+        opt = AdamW([p], lr=0.01, weight_decay=0.01)
+        p.grad = np.ones((8, 8), np.float32)
+        opt.step()
+        n_bufs = len(opt._bufs)
+        for _ in range(5):
+            p.grad = np.ones((8, 8), np.float32)
+            opt.step()
+        assert len(opt._bufs) == n_bufs        # no per-step allocations
+
+    def test_skips_params_without_grad(self):
+        p1 = Parameter(np.ones(3, np.float32))
+        p2 = Parameter(np.ones(3, np.float32))
+        opt = SGD([p1, p2], lr=0.5)
+        p1.grad = np.ones(3, np.float32)
+        opt.step()
+        np.testing.assert_array_equal(p2.data, np.ones(3))
+        assert not np.array_equal(p1.data, np.ones(3))
+
+    def test_compiled_plan_sees_inplace_updates(self):
+        """The serving story: optimizers mutate in place, so a compiled
+        plan's constant-folded weight views track training steps."""
+        from repro import runtime
+        lin = nn.Linear(4, 2, rng=np.random.default_rng(0))
+
+        def fn(x):
+            return lin(x)
+
+        feeds = {"x": np.ones((1, 4), np.float32)}
+        from repro.runtime.trace import trace
+        plan = runtime.compile_graph(trace(fn, feeds))
+        before = plan.run(feeds).copy()
+        opt = SGD(lin.parameters(), lr=0.5)
+        for p in lin.parameters():
+            p.grad = np.ones_like(p.data)
+        opt.step()
+        after = plan.run(feeds)
+        with nn.no_grad():
+            expect = fn(nn.Tensor(feeds["x"])).data
+        np.testing.assert_array_equal(after, expect)
+        assert not np.array_equal(before, after)

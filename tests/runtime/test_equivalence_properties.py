@@ -1,0 +1,150 @@
+"""Property tests: compiled inference is byte-identical to eager.
+
+Hypothesis drives randomized (batch, length, token grid, dtype, seed)
+signatures through ViTSegmenter and VolumeViTSegmenter; for every drawn
+case the compiled plan's logits must equal the eager ``no_grad`` forward
+**bit for bit** — same values, same dtype. This is the load-bearing
+contract of ``repro.runtime``: the executor may fuse, buffer-share and run
+in place, but it must never produce a different float.
+
+A companion gradcheck asserts the kernel-dispatch refactor left *training*
+untouched: analytic gradients through the shared kernels still match
+central differences, and tracing in one thread does not perturb a tape
+being built concurrently.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import nn, runtime
+from repro.models.vit import ViTClassifier, ViTSegmenter, VolumeViTSegmenter
+from repro.nn.gradcheck import check_gradients
+
+settings.register_profile("runtime", max_examples=12, deadline=None)
+settings.load_profile("runtime")
+
+
+def _forward_pair(model, tokens, coords, valid):
+    with nn.no_grad():
+        eager = model.forward(tokens, coords, valid).data
+    cm = runtime.compile_model(model, tokens, coords, valid)
+    return eager, cm(tokens, coords, valid)
+
+
+def _assert_bit_identical(eager, compiled):
+    assert eager.dtype == compiled.dtype
+    np.testing.assert_array_equal(eager, compiled)
+
+
+case = st.tuples(
+    st.integers(1, 3),                        # batch
+    st.integers(2, 24),                       # length
+    st.integers(0, 2 ** 31 - 1),              # data seed
+    st.integers(0, 2 ** 31 - 1),              # weight seed
+    st.booleans(),                            # with valid mask
+    st.sampled_from([np.float32, np.float64]),
+)
+
+
+class TestCompiledEquivalence:
+    @given(case)
+    def test_vit_segmenter_logits_bitwise(self, params):
+        b, length, dseed, wseed, with_valid, dtype = params
+        model = ViTSegmenter(patch_size=2, channels=1, dim=8, depth=2,
+                             heads=2, max_len=32,
+                             rng=np.random.default_rng(wseed),
+                             dtype=dtype).eval()
+        rng = np.random.default_rng(dseed)
+        tokens = rng.normal(size=(b, length, 4))
+        coords = rng.normal(size=(b, length, 3))
+        valid = (rng.random((b, length)) > 0.3) if with_valid else None
+        _assert_bit_identical(*_forward_pair(model, tokens, coords, valid))
+
+    @given(case)
+    def test_volume_vit_segmenter_logits_bitwise(self, params):
+        b, length, dseed, wseed, with_valid, dtype = params
+        model = VolumeViTSegmenter(patch_size=2, dim=8, depth=2, heads=2,
+                                   max_len=32,
+                                   rng=np.random.default_rng(wseed),
+                                   dtype=dtype).eval()
+        rng = np.random.default_rng(dseed)
+        tokens = rng.normal(size=(b, length, 8))     # Pm³ = 8
+        coords = rng.normal(size=(b, length, 4))
+        valid = (rng.random((b, length)) > 0.3) if with_valid else None
+        _assert_bit_identical(*_forward_pair(model, tokens, coords, valid))
+
+    @given(st.integers(0, 2 ** 31 - 1))
+    def test_vit_classifier_logits_bitwise(self, seed):
+        rng = np.random.default_rng(seed)
+        model = ViTClassifier(patch_size=2, channels=1, dim=8, depth=1,
+                              heads=2, max_len=32, num_classes=4,
+                              rng=np.random.default_rng(seed + 1)).eval()
+        tokens = rng.normal(size=(2, 9, 4))
+        coords = rng.normal(size=(2, 9, 3))
+        valid = rng.random((2, 9)) > 0.2
+        _assert_bit_identical(*_forward_pair(model, tokens, coords, valid))
+
+    @given(st.integers(0, 2 ** 31 - 1))
+    def test_plan_reuse_across_fresh_inputs(self, seed):
+        """One plan, many feeds: later runs stay bit-identical too."""
+        model = ViTSegmenter(patch_size=2, channels=1, dim=8, depth=1,
+                             heads=2, max_len=32,
+                             rng=np.random.default_rng(0)).eval()
+        rng = np.random.default_rng(seed)
+        shape = (2, 11, 4)
+        tokens = rng.normal(size=shape)
+        coords = rng.normal(size=(2, 11, 3))
+        valid = rng.random((2, 11)) > 0.4
+        cm = runtime.compile_model(model, tokens, coords, valid)
+        for _ in range(3):
+            tokens = rng.normal(size=shape)
+            with nn.no_grad():
+                expect = model.forward(tokens, coords, valid).data
+            np.testing.assert_array_equal(cm(tokens, coords, valid), expect)
+
+
+class TestDispatchGradientsUnchanged:
+    """The refactor routed every forward through the kernel table; training
+    gradients must still match finite differences end to end."""
+
+    def test_segmenter_loss_gradcheck(self):
+        rng = np.random.default_rng(0)
+        model = ViTSegmenter(patch_size=2, channels=1, dim=6, depth=1,
+                             heads=2, max_len=16,
+                             rng=np.random.default_rng(1),
+                             dtype=np.float64)
+        tokens = rng.normal(size=(1, 5, 4))
+        coords = rng.normal(size=(1, 5, 3))
+        params = model.parameters()
+
+        def loss(*_):
+            return (model.forward(tokens, coords, None) ** 2.0).sum() * 0.01
+
+        check_gradients(loss, params[:3], rtol=1e-3, atol=1e-5)
+
+    def test_tracing_does_not_perturb_concurrent_tape(self):
+        import threading
+        model = ViTSegmenter(patch_size=2, channels=1, dim=6, depth=1,
+                             heads=2, max_len=16,
+                             rng=np.random.default_rng(1)).eval()
+        rng = np.random.default_rng(2)
+        tokens = rng.normal(size=(1, 5, 4))
+        errors = []
+
+        def trace_loop():
+            try:
+                for _ in range(5):
+                    runtime.compile_model(model, tokens)
+            except Exception as exc:   # pragma: no cover - failure path
+                errors.append(exc)
+
+        x = nn.Tensor(rng.normal(size=(4, 4)), requires_grad=True)
+        thread = threading.Thread(target=trace_loop)
+        thread.start()
+        for _ in range(20):
+            y = (x * 2.0).gelu().sum()
+        thread.join()
+        y.backward()
+        assert not errors
+        assert x.grad is not None       # tape survived concurrent tracing

@@ -1,0 +1,168 @@
+"""Unit tests for the tracer and the plan compiler.
+
+The property suite (test_equivalence_properties.py) covers end-to-end
+bit-identity over randomized inputs; these tests pin the *mechanics*: graph
+capture, constant folding, fusion detection, buffer reuse, view handling,
+and the failure modes (stochastic dropout, non-Tensor outputs).
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn, runtime
+from repro.nn import functional as F
+from repro.nn import kernels as K
+from repro.runtime.compile import compile_graph
+from repro.runtime.trace import trace
+
+
+def small_fn(x, y):
+    return (x @ y).gelu() + 1.0
+
+
+class TestTrace:
+    def test_graph_captures_ops_inputs_and_consts(self):
+        x = np.ones((3, 4), np.float32)
+        y = np.ones((4, 2), np.float32)
+        g = trace(small_fn, {"x": x, "y": y})
+        ops = [n.op for n in g.nodes if n.op not in ("input", "const")]
+        assert ops == ["matmul", "gelu", "add"]
+        assert set(g.inputs) == {"x", "y"}
+        # The coerced scalar 1.0 appears as a const node.
+        consts = [n for n in g.nodes if n.op == "const"]
+        assert len(consts) == 1 and consts[0].array.shape == ()
+        assert g.node(g.output).op == "add"
+
+    def test_trace_is_thread_local_and_restores_hook(self):
+        assert not K.tracing()
+        trace(small_fn, {"x": np.ones((2, 2), np.float32),
+                         "y": np.ones((2, 2), np.float32)})
+        assert not K.tracing()
+
+    def test_trace_runs_under_no_grad(self):
+        seen = {}
+
+        def fn(x):
+            seen["grad"] = nn.is_grad_enabled()
+            return x * 2.0
+
+        trace(fn, {"x": np.ones(3, np.float32)})
+        assert seen["grad"] is False
+        assert nn.is_grad_enabled()
+
+    def test_stochastic_dropout_refuses_to_trace(self):
+        drop = nn.Dropout(0.5)
+
+        def fn(x):
+            return drop(x)
+
+        with pytest.raises(RuntimeError, match="dropout"):
+            trace(fn, {"x": np.ones((2, 2), np.float32)})
+
+    def test_non_tensor_output_rejected(self):
+        with pytest.raises(TypeError):
+            trace(lambda x: x.data, {"x": np.ones(2, np.float32)})
+
+
+class TestCompile:
+    def test_constant_folding_keeps_weight_views(self):
+        w = nn.Parameter(np.arange(6, dtype=np.float32).reshape(2, 3))
+
+        def fn(x):
+            return x @ w.transpose()
+
+        g = trace(fn, {"x": np.ones((1, 3), np.float32)})
+        plan = compile_graph(g)
+        out1 = plan.run({"x": np.ones((1, 3), np.float32)}).copy()
+        # In-place weight update must be visible without recompiling.
+        w.data *= 2.0
+        out2 = plan.run({"x": np.ones((1, 3), np.float32)})
+        np.testing.assert_array_equal(out2, 2.0 * out1)
+
+    def test_linear_gelu_and_sdpa_fusion_detected(self):
+        mha = nn.MultiHeadAttention(dim=8, heads=2,
+                                    rng=np.random.default_rng(0))
+        mlp = nn.MLP(8, 16, rng=np.random.default_rng(1))
+
+        def fn(x):
+            return mlp(mha(x))
+
+        g = trace(fn, {"x": np.ones((1, 5, 8), np.float32)})
+        plan = compile_graph(g)
+        assert plan.stats["fused_sdpa"] == 1
+        assert plan.stats["fused_linear"] >= 5    # q,k,v,o + fc1(gelu) + fc2
+        assert plan.stats["buffer_reuse"] > 0
+
+    def test_plan_buffers_are_reused_across_runs(self):
+        lin = nn.Linear(6, 6, rng=np.random.default_rng(0))
+
+        def fn(x):
+            return lin(x).relu() + lin(x)
+
+        feeds = {"x": np.ones((2, 6), np.float32)}
+        g = trace(fn, feeds)
+        plan = compile_graph(g)
+        a = plan.run(feeds)
+        with nn.no_grad():
+            expect = fn(nn.Tensor(feeds["x"])).data
+        np.testing.assert_array_equal(a, expect)
+        # The output array is plan-owned: a second run overwrites it.
+        first = a.copy()
+        plan.run({"x": 2 * np.ones((2, 6), np.float32)})
+        assert not np.array_equal(a, first)
+
+    def test_feed_shape_mismatch_raises(self):
+        g = trace(lambda x: x * 2.0, {"x": np.ones((2, 3), np.float32)})
+        plan = compile_graph(g)
+        with pytest.raises(ValueError):
+            plan.run({"x": np.ones((2, 3), np.float32), "y": np.ones(1)})
+        with pytest.raises(ValueError):
+            plan.run({"x": np.ones((3, 2), np.float32)})
+
+    def test_noncontiguous_reshape_becomes_runtime_copy(self):
+        def fn(x):
+            return x.transpose(0, 2, 1).reshape(2, 12) * 1.0
+
+        feeds = {"x": np.arange(24, dtype=np.float32).reshape(2, 3, 4)}
+        g = trace(fn, feeds)
+        plan = compile_graph(g)
+        with nn.no_grad():
+            expect = fn(nn.Tensor(feeds["x"])).data
+        np.testing.assert_array_equal(plan.run(feeds), expect)
+        # Fresh values on the second run (the copy must not be baked in).
+        feeds2 = {"x": feeds["x"][:, ::1, :] + 5.0}
+        with nn.no_grad():
+            expect2 = fn(nn.Tensor(feeds2["x"])).data
+        np.testing.assert_array_equal(plan.run(feeds2), expect2)
+
+    def test_structured_ops_execute_via_reference_kernels(self):
+        conv = nn.Conv2d(2, 3, kernel=3, padding=1,
+                         rng=np.random.default_rng(0))
+
+        def fn(x):
+            return F.max_pool2d(conv(x).relu(), 2)
+
+        feeds = {"x": np.random.default_rng(1).normal(
+            size=(1, 2, 8, 8)).astype(np.float32)}
+        g = trace(fn, feeds)
+        plan = compile_graph(g)
+        with nn.no_grad():
+            expect = fn(nn.Tensor(feeds["x"])).data
+        np.testing.assert_array_equal(plan.run(feeds), expect)
+
+
+class TestCompileModel:
+    def test_compiled_model_bit_identical_and_signature(self):
+        from repro.models.vit import ViTSegmenter
+        model = ViTSegmenter(patch_size=2, channels=1, dim=16, depth=2,
+                             heads=2, max_len=64,
+                             rng=np.random.default_rng(3)).eval()
+        rng = np.random.default_rng(0)
+        tokens = rng.normal(size=(2, 12, 4))
+        coords = rng.normal(size=(2, 12, 3))
+        valid = rng.random((2, 12)) > 0.3
+        cm = runtime.compile_model(model, tokens, coords, valid)
+        with nn.no_grad():
+            expect = model.forward(tokens, coords, valid).data
+        np.testing.assert_array_equal(cm(tokens, coords, valid), expect)
+        assert len(cm.graph.signature) == 4   # tokens, coords, validf, bias
