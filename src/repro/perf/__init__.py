@@ -1,5 +1,5 @@
 """``repro.perf`` — FLOP/memory models, α–β cost model, equal-cost analysis,
-and crash-safe benchmark artifact I/O."""
+serving capacity planning, and crash-safe benchmark artifact I/O."""
 
 from .artifacts import write_json_atomic
 from .costmodel import ClusterSpec, CostModel
@@ -7,6 +7,8 @@ from .equivalence import (apf_length_curve, equal_cost_patch_size,
                           equivalent_sequence_gain)
 from .flops import (TransformerConfig, activation_bytes, attention_flops,
                     attention_memory_bytes, encoder_flops, training_flops)
+from .serving import (batching_speedup_bound, engine_capacity,
+                      serial_capacity, utilization)
 
 __all__ = [
     "TransformerConfig", "attention_flops", "encoder_flops", "training_flops",
@@ -14,4 +16,6 @@ __all__ = [
     "ClusterSpec", "CostModel",
     "apf_length_curve", "equal_cost_patch_size", "equivalent_sequence_gain",
     "write_json_atomic",
+    "engine_capacity", "serial_capacity", "batching_speedup_bound",
+    "utilization",
 ]

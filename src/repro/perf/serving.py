@@ -1,0 +1,46 @@
+"""Serving capacity planning — batch-server throughput/utilization math.
+
+Companion to the α–β training cost model (:mod:`.costmodel`), but for the
+inference engine: given a service-time model with the batch-server shape
+``cost(B, L) = a + B * (L*b + c)`` (fixed per-dispatch overhead plus
+per-item work — :class:`repro.serve.loadgen.ServiceModel` or anything
+duck-typed like it), these helpers answer the questions an operator sizes
+an engine with: what is the saturated throughput at a given batch size,
+how much of it does an offered load consume, and what does batching buy
+over serial dispatch. The load benchmark records them next to its measured
+numbers so the JSON is self-interpreting.
+"""
+
+from __future__ import annotations
+
+__all__ = ["engine_capacity", "serial_capacity", "batching_speedup_bound",
+           "utilization"]
+
+
+def engine_capacity(service_model, max_batch: int, length: int) -> float:
+    """Saturated throughput (requests/s) of a batch server running full
+    ``max_batch`` flushes of ``length``-token requests back to back."""
+    if max_batch < 1:
+        raise ValueError("max_batch must be >= 1")
+    return max_batch / service_model.cost(max_batch, length)
+
+
+def serial_capacity(service_model, length: int) -> float:
+    """Saturated throughput of the unbatched one-at-a-time baseline."""
+    return 1.0 / service_model.cost(1, length)
+
+
+def batching_speedup_bound(service_model, max_batch: int,
+                           length: int) -> float:
+    """Upper bound on the engine/serial throughput ratio at saturation:
+    ``(a + s) / (a/B + s)`` with per-item seconds ``s`` — what amortizing
+    the fixed dispatch overhead ``a`` over ``B`` requests can buy."""
+    return (engine_capacity(service_model, max_batch, length)
+            / serial_capacity(service_model, length))
+
+
+def utilization(offered_rate: float, capacity: float) -> float:
+    """Offered load as a fraction of capacity (>1 means overload)."""
+    if offered_rate < 0 or capacity <= 0:
+        raise ValueError("need offered_rate >= 0 and capacity > 0")
+    return offered_rate / capacity

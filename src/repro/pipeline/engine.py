@@ -25,6 +25,7 @@ coordinates.
 from __future__ import annotations
 
 import hashlib
+import threading
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Hashable, List, Optional, Sequence, Union
@@ -124,6 +125,10 @@ class PatchPipeline:
         self.executor = executor
         self.cache = LRUPatchCache(cache_items) if cache_items else None
         self.channels = channels
+        # One pipeline is shared by engine submit threads and the batcher:
+        # the LRU's OrderedDict reordering is not atomic, so all cache
+        # access goes through this lock (extraction itself runs outside it).
+        self._cache_lock = threading.Lock()
 
     @property
     def config(self) -> Union[APFConfig, VolumeAPFConfig]:
@@ -162,19 +167,24 @@ class PatchPipeline:
             keys = [_content_key(im) for im in images]
         out: List[Optional[PatchSequence]] = [None] * len(images)
         miss_idx = []
-        for i, key in enumerate(keys):
-            seq = self.cache.get(key)
-            if seq is None:
-                miss_idx.append(i)
-            else:
-                out[i] = seq
+        with self._cache_lock:
+            for i, key in enumerate(keys):
+                seq = self.cache.get(key)
+                if seq is None:
+                    miss_idx.append(i)
+                else:
+                    out[i] = seq
         if miss_idx:
+            # Concurrent misses on the same key may both compute; sequences
+            # are deterministic, so the duplicate put is a harmless refresh.
             t0 = time.perf_counter()
             computed = self._compute_natural([images[i] for i in miss_idx])
-            self.cache.build_seconds += time.perf_counter() - t0
-            for i, seq in zip(miss_idx, computed):
-                self.cache.put(keys[i], seq)
-                out[i] = seq
+            build_s = time.perf_counter() - t0
+            with self._cache_lock:
+                self.cache.build_seconds += build_s
+                for i, seq in zip(miss_idx, computed):
+                    self.cache.put(keys[i], seq)
+                    out[i] = seq
         return out  # type: ignore[return-value]
 
     def __call__(self, images, keys: Optional[Sequence[Hashable]] = None):
@@ -244,11 +254,12 @@ class PatchPipeline:
         """Cache counters (empty dict when caching is disabled)."""
         if self.cache is None:
             return {}
-        return {"hits": self.cache.hits, "misses": self.cache.misses,
-                "evictions": self.cache.evictions,
-                "hit_rate": self.cache.hit_rate,
-                "build_seconds": self.cache.build_seconds,
-                "items": len(self.cache)}
+        with self._cache_lock:
+            return {"hits": self.cache.hits, "misses": self.cache.misses,
+                    "evictions": self.cache.evictions,
+                    "hit_rate": self.cache.hit_rate,
+                    "build_seconds": self.cache.build_seconds,
+                    "items": len(self.cache)}
 
     def warm(self, dataset, batch_size: int = 32) -> dict:
         """Precompute the whole dataset into the cache (Algorithm 1 line 2-7:

@@ -1,12 +1,31 @@
-"""``repro.serve`` — the micro-batching inference front-end.
+"""``repro.serve`` — the inference serving stack.
 
-:class:`Predictor` turns (model + :class:`~repro.pipeline.engine.
-PatchPipeline`) into a serving stack: cached APF preprocessing, sequence-
-length bucketing, micro-batched compiled execution
-(:mod:`repro.runtime`), and vectorized map stitching (:mod:`.stitch`).
+Two layers:
+
+* :class:`Predictor` — the synchronous micro-batching core: cached APF
+  preprocessing, sequence-length bucketing, compiled per-signature plans
+  (:mod:`repro.runtime`), vectorized map stitching (:mod:`.stitch`).
+* :class:`InferenceEngine` — the asynchronous front-end over a shared
+  Predictor: ``submit(image) -> Future``, continuous batching with a
+  latency-deadline flush, weighted-fair priority lanes, digest-keyed
+  result caching, admission control (:class:`EngineOverloaded`), and a
+  metrics registry. :mod:`.loadgen` drives it deterministically under a
+  simulated clock for CI-stable load tests.
 """
 
+from .engine import BatchReport, EngineConfig, InferenceEngine
+from .loadgen import (Arrival, ServiceModel, SimClock, merge_traces,
+                      poisson_trace, run_load, serial_baseline)
+from .metrics import Counter, Histogram, MetricsRegistry
 from .predictor import Predictor, predict_image
+from .queueing import EngineOverloaded, FairQueue, Request
 from .stitch import stitch_image, stitch_volume
 
-__all__ = ["Predictor", "predict_image", "stitch_image", "stitch_volume"]
+__all__ = [
+    "Predictor", "predict_image", "stitch_image", "stitch_volume",
+    "InferenceEngine", "EngineConfig", "BatchReport",
+    "FairQueue", "Request", "EngineOverloaded",
+    "Counter", "Histogram", "MetricsRegistry",
+    "Arrival", "SimClock", "ServiceModel", "poisson_trace", "merge_traces",
+    "run_load", "serial_baseline",
+]

@@ -1,0 +1,474 @@
+"""Async inference engine — continuous batching over the compiled Predictor.
+
+The :class:`~repro.serve.predictor.Predictor` is synchronous: callers hand
+it a fully-formed batch and block. :class:`InferenceEngine` turns it into a
+shared service: clients ``submit(image)`` and get a
+:class:`~concurrent.futures.Future`; a continuous batcher coalesces the
+queue into length-bucketed micro-batches (flushing on ``max_batch`` *or* a
+latency deadline, so light load never waits for a full batch), executes
+them through the Predictor's per-signature plan cache, and resolves the
+futures.
+
+Bit-identity contract
+---------------------
+Batches always contain a single length bucket and dispatch FIFO within a
+lane, in chunks of exactly ``predictor.max_batch`` — the same grouping
+``Predictor.predict_batch`` produces. Submitting a request set and draining
+the queue therefore yields **bit-identical** arrays to calling
+``predict_batch`` on the same set (the property suite pins this across
+seeds and shapes). Under streaming arrivals the chunk *composition* depends
+on timing; each chunk still runs the exact ``predict_sequences`` path, but
+BLAS blocking varies with batch shape, so cross-composition agreement is
+tight (~1e-7) rather than bitwise — the same caveat as any batched server.
+
+Beyond batching, the engine layers on what a front-end needs:
+
+* **priority lanes** with weighted fairness (``interactive`` vs ``bulk``;
+  see :class:`~repro.serve.queueing.FairQueue`), and ``submit_volume``
+  which decomposes a (S, Z, Z) volume into per-slice bulk jobs and
+  reassembles the stacked class map (the paper's BTCV slice protocol);
+* **admission control**: a bounded queue; overflow raises
+  :class:`~repro.serve.queueing.EngineOverloaded` with a ``retry_after``
+  hint derived from the observed service rate;
+* a **digest-keyed LRU result cache** (identical payloads — e.g. repeated
+  or padded CT slices — are served without inference) plus **in-flight
+  request collapsing** (concurrent duplicates share one execution);
+* a **metrics registry** (:mod:`.metrics`) exported via :meth:`stats`.
+
+Drive modes: :meth:`start` spawns a daemon batcher thread against the real
+clock; alternatively a *simulated* clock plus a
+:class:`~repro.serve.loadgen.ServiceModel` lets :mod:`.loadgen` drive
+:meth:`step` deterministically for load tests (no threads, virtual time).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import Future
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, Hashable, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+# The engine keys its result cache with the same content digest the
+# pipeline uses for its sequence cache, so one hash serves both layers
+# (and the two caches can never disagree about what "the same image" is).
+from ..pipeline.engine import _content_key as _digest
+from .metrics import MetricsRegistry
+from .predictor import class_map
+from .queueing import DEFAULT_LANES, EngineOverloaded, FairQueue, Request
+
+__all__ = ["EngineConfig", "InferenceEngine", "BatchReport"]
+
+
+@dataclass
+class EngineConfig:
+    """Tuning knobs of the engine (see README "Serving architecture").
+
+    ``max_batch=None`` inherits ``predictor.max_batch`` — required for the
+    bit-identity guarantee against ``predict_batch``; set it lower only to
+    trade throughput for latency knowingly.
+    """
+
+    max_batch: Optional[int] = None
+    #: Longest a request may wait for co-batching before a partial flush (s).
+    flush_deadline: float = 0.02
+    #: Admission-control bound on waiting requests.
+    max_queue: int = 64
+    #: Lane name -> fair-share weight.
+    lanes: Mapping[str, float] = field(default_factory=lambda: dict(DEFAULT_LANES))
+    #: LRU capacity of the digest-keyed result cache (0 disables).
+    result_cache_items: int = 256
+    #: Padded lengths to pre-compile at :meth:`InferenceEngine.start`
+    #: (None -> first two bucket multiples).
+    warmup_lengths: Optional[Sequence[int]] = None
+
+
+@dataclass
+class BatchReport:
+    """What one batcher flush did (returned by :meth:`InferenceEngine.step`)."""
+
+    size: int
+    length: int
+    lanes: Dict[str, int]
+    started: float
+    cost: float          #: virtual service seconds (or measured wall seconds)
+    real_seconds: float
+
+
+class InferenceEngine:
+    """Queue-driven, continuously-batched front-end over a Predictor.
+
+    Parameters
+    ----------
+    predictor:
+        The micro-batching :class:`~repro.serve.predictor.Predictor` the
+        engine owns (the engine is its only driver once started).
+    config:
+        :class:`EngineConfig`; individual fields may also be passed as
+        keyword overrides.
+    clock:
+        Time source. Defaults to ``time.monotonic``; pass a
+        :class:`~repro.serve.loadgen.SimClock`'s ``now`` for deterministic
+        simulated-time operation.
+    service_model:
+        Optional :class:`~repro.serve.loadgen.ServiceModel`. When set,
+        batch completions are stamped ``started + model.cost(B, L)``
+        virtual seconds (deterministic); when None, real elapsed time.
+
+    Examples
+    --------
+    >>> engine = InferenceEngine(Predictor(model, pipe), flush_deadline=0.01)
+    >>> engine.start()                        # warms plans, spawns batcher
+    >>> fut = engine.submit(image)            # -> Future
+    >>> probs = fut.result(timeout=5)
+    >>> engine.stop()
+    """
+
+    def __init__(self, predictor, config: Optional[EngineConfig] = None,
+                 *, clock: Callable[[], float] = time.monotonic,
+                 service_model=None, **overrides):
+        # copy: the engine resolves fields in place (max_batch inheritance,
+        # overrides), which must not leak into a caller-shared config
+        cfg = replace(config) if config is not None else EngineConfig()
+        cfg.lanes = dict(cfg.lanes)
+        for name, value in overrides.items():
+            if not hasattr(cfg, name):
+                raise TypeError(f"unknown engine option {name!r}")
+            setattr(cfg, name, value)
+        if cfg.max_batch is None:
+            cfg.max_batch = predictor.max_batch
+        if cfg.max_batch < 1 or cfg.flush_deadline < 0:
+            raise ValueError("max_batch >= 1 and flush_deadline >= 0 required")
+        self.predictor = predictor
+        self.config = cfg
+        self.clock = clock
+        self.service_model = service_model
+        self.metrics = MetricsRegistry()
+        self._queue = FairQueue(cfg.lanes, max_depth=cfg.max_queue)
+        self._cond = threading.Condition()
+        self._results: "OrderedDict[Hashable, np.ndarray]" = OrderedDict()
+        self._inflight: Dict[Hashable, Request] = {}
+        self._collapsed: Dict[int, List] = {}     # id(req) -> [(submit_t, fut)]
+        self._ewma_batch_s: Optional[float] = None
+        self._thread: Optional[threading.Thread] = None
+        self._running = False
+
+    # -- submission --------------------------------------------------------
+    def _cache_get(self, digest: Hashable) -> Optional[np.ndarray]:
+        if self.config.result_cache_items <= 0:
+            return None
+        hit = self._results.get(digest)
+        if hit is not None:
+            self._results.move_to_end(digest)
+        return hit
+
+    def _cache_put(self, digest: Hashable, value: np.ndarray) -> None:
+        if self.config.result_cache_items <= 0 or digest is None:
+            return
+        # Freeze a private copy: the caller's array stays writable
+        # (predict_batch parity), while the cached one — shared by every
+        # future cache hit — cannot be poisoned in place.
+        frozen = value.copy()
+        frozen.setflags(write=False)
+        self._results[digest] = frozen
+        while len(self._results) > self.config.result_cache_items:
+            self._results.popitem(last=False)
+            self.metrics.inc("result_cache_evictions")
+
+    def retry_after_hint(self) -> float:
+        """Seconds until capacity is likely free (admission-reject hint)."""
+        per_batch = self._ewma_batch_s or self.config.flush_deadline
+        batches_ahead = math.ceil((len(self._queue) + 1) / self.config.max_batch)
+        return batches_ahead * per_batch
+
+    def _admit(self, images: Sequence[np.ndarray], lane: str) -> List[Future]:
+        """Cache-check, preprocess, and atomically enqueue a group of images.
+
+        Fresh requests are registered in the in-flight table as
+        *reservations* before preprocessing starts, so a concurrent
+        duplicate submission (or a repeated payload later in this very
+        group) collapses onto them instead of racing to a second
+        execution. APF preprocessing itself runs on the *caller's* thread
+        (through the pipeline's lock-protected LRU), keeping the batcher
+        thread on the model hot path only. Admission is all-or-nothing: on
+        overflow every reservation, collapse registration, and metric of
+        this call is rolled back and any twin futures chained onto the
+        rejected reservations fail with the same :class:`EngineOverloaded`.
+        """
+        if lane not in self.config.lanes:    # validate even on cache hits
+            raise ValueError(f"unknown lane {lane!r}; "
+                             f"configured: {sorted(self.config.lanes)}")
+        now = self.clock()
+        futures: List[Future] = []
+        fresh: List[Request] = []
+        fresh_images: List[np.ndarray] = []
+        hits: Dict[int, np.ndarray] = {}
+        n_chained = 0
+        cache_on = self.config.result_cache_items > 0
+        # hash outside the lock: digests depend only on the payloads, and
+        # holding the condition while hashing S slices would stall the
+        # batcher thread for the whole volume
+        digests = [_digest(image) if cache_on else None for image in images]
+        with self._cond:
+            for i, image in enumerate(images):
+                digest = digests[i]
+                cached = self._cache_get(digest) if digest is not None else None
+                if cached is not None:
+                    hits[i] = cached
+                    futures.append(Future())
+                    continue
+                primary = (self._inflight.get(digest)
+                           if digest is not None else None)
+                if primary is not None:            # collapse onto in-flight twin
+                    fut = Future()
+                    self._collapsed.setdefault(id(primary), []).append(
+                        (now, lane, fut))
+                    futures.append(fut)
+                    n_chained += 1
+                    continue
+                req = Request(seq=None, bucket=-1, lane=lane, submit_t=now,
+                              key=digest)
+                if digest is not None:
+                    self._inflight[digest] = req   # reservation for twins
+                fresh.append(req)
+                fresh_images.append(image)
+                futures.append(req.future)
+        # preprocessing outside the engine lock (pipeline has its own), in
+        # ONE batched call so the pipeline's batch kernels/workers apply;
+        # any failure must tear down the reservations, or later identical
+        # submissions would chain onto a dead primary and hang forever
+        try:
+            if fresh:
+                keys = [req.key if req.key is not None else _digest(image)
+                        for req, image in zip(fresh, fresh_images)]
+                seqs = self.predictor._naturals(fresh_images, keys)
+                for req, seq in zip(fresh, seqs):
+                    req.seq = seq
+                    req.bucket = self.predictor.bucket_length(len(seq))
+        except BaseException as exc:
+            with self._cond:
+                self._rollback(fresh, exc)
+            raise
+        with self._cond:
+            try:
+                self._queue.push_all(fresh, retry_after=self.retry_after_hint())
+            except EngineOverloaded as exc:
+                self.metrics.inc("rejected", self._rollback(fresh, exc))
+                raise
+            self.metrics.inc("submitted", len(images))
+            self.metrics.inc("cache_hits", len(hits))
+            self.metrics.inc("collapsed", n_chained)
+            self._cond.notify_all()
+        for i, value in hits.items():
+            self.metrics.observe("latency", 0.0)
+            self.metrics.observe(f"latency.{lane}", 0.0)
+            # writable private copy, same contract as fresh results and
+            # collapsed twins (the frozen original stays in the cache)
+            futures[i].set_result(value.copy())
+        return futures
+
+    def _rollback(self, fresh: List[Request], exc: BaseException) -> int:
+        """Undo reservations for a failed admission (caller holds the lock);
+        twin futures chained onto them fail with ``exc``. Returns the number
+        of requests torn down."""
+        n = len(fresh)
+        for req in fresh:
+            if req.key is not None and self._inflight.get(req.key) is req:
+                del self._inflight[req.key]
+            for _, _, fut in self._collapsed.pop(id(req), []):
+                fut.set_exception(exc)
+                n += 1
+        return n
+
+    def submit(self, image: np.ndarray, *, lane: str = "interactive") -> Future:
+        """Enqueue one image/volume-slice; resolves to its probability map.
+
+        Raises :class:`EngineOverloaded` (with ``.retry_after``) when the
+        queue is at capacity.
+        """
+        return self._admit([np.asarray(image)], lane)[0]
+
+    def submit_volume(self, volume: np.ndarray, *,
+                      lane: str = "bulk") -> Future:
+        """Decompose a (S, Z, Z) volume into per-slice jobs; reassemble.
+
+        The returned future resolves to the stacked (S, Z, Z) int64 class
+        map — the same post-processing as ``Predictor.predict_volume``
+        (argmax over channels, 0.5 threshold for binary heads). Admission is
+        atomic: either every slice is accepted or the whole volume is
+        rejected with :class:`EngineOverloaded`.
+        """
+        v = np.asarray(volume)
+        if v.ndim != 3 or v.shape[0] == 0:
+            raise ValueError(f"expected a non-empty (slices, Z, Z) volume, "
+                             f"got {v.shape}")
+        slice_futs = self._admit([v[i] for i in range(v.shape[0])], lane)
+        self.metrics.inc("volumes")
+        agg: Future = Future()
+        parts: List[Optional[np.ndarray]] = [None] * len(slice_futs)
+        pending = [len(slice_futs)]
+        lock = threading.Lock()
+
+        def finish(i: int, fut: Future) -> None:
+            try:
+                parts[i] = class_map(fut.result())
+            except BaseException as exc:   # propagate the first slice failure
+                if not agg.done():
+                    agg.set_exception(exc)
+                return
+            with lock:
+                pending[0] -= 1
+                done = pending[0] == 0
+            if done and not agg.done():
+                agg.set_result(np.stack(parts))
+
+        for i, fut in enumerate(slice_futs):
+            fut.add_done_callback(lambda f, i=i: finish(i, f))
+        return agg
+
+    # -- execution ---------------------------------------------------------
+    def _run(self, batch: List[Request], started: float) -> BatchReport:
+        t0 = time.perf_counter()
+        # The exact predict_batch path: same fit/collate/forward/stitch.
+        maps = self.predictor.predict_sequences([r.seq for r in batch])
+        real_s = time.perf_counter() - t0
+        length = batch[0].bucket
+        cost = (self.service_model.cost(len(batch), length)
+                if self.service_model is not None else real_s)
+        done_at = started + cost if self.service_model is not None \
+            else self.clock()
+        with self._cond:
+            chains = [self._collapsed.pop(id(r), []) for r in batch]
+            for r in batch:
+                if r.key is not None and self._inflight.get(r.key) is r:
+                    del self._inflight[r.key]
+            for r, m in zip(batch, maps):
+                self._cache_put(r.key, m)
+            ewma = self._ewma_batch_s
+            self._ewma_batch_s = cost if ewma is None else 0.8 * ewma + 0.2 * cost
+        lanes: Dict[str, int] = {}
+        for r, m, chain in zip(batch, maps, chains):
+            r.future.set_result(m)
+            self.metrics.observe("latency", done_at - r.submit_t)
+            self.metrics.observe(f"latency.{r.lane}", done_at - r.submit_t)
+            lanes[r.lane] = lanes.get(r.lane, 0) + 1
+            for sub_t, chain_lane, fut in chain:
+                # private copy: twins belong to independent clients who may
+                # post-process in place (same poisoning rule as the cache)
+                fut.set_result(m.copy())
+                self.metrics.observe("latency", done_at - sub_t)
+                self.metrics.observe(f"latency.{chain_lane}", done_at - sub_t)
+        self.metrics.inc("completed", len(batch))
+        self.metrics.inc("batches")
+        self.metrics.observe("batch_size", len(batch))
+        self.metrics.observe("service_seconds", cost)
+        return BatchReport(size=len(batch), length=length, lanes=lanes,
+                           started=started, cost=cost, real_seconds=real_s)
+
+    def step(self, now: Optional[float] = None,
+             force: bool = False) -> Optional[BatchReport]:
+        """Flush and run at most one due batch at time ``now``.
+
+        The single-threaded drive mode: the load harness (or any event
+        loop) calls this instead of :meth:`start`. ``force=True`` flushes
+        regardless of the deadline (drain semantics).
+        """
+        if now is None:
+            now = self.clock()
+        with self._cond:
+            batch = self._queue.collect(now, self.config.max_batch,
+                                        self.config.flush_deadline, force)
+        if batch is None:
+            return None
+        return self._run(batch, now)
+
+    def drain(self) -> List[BatchReport]:
+        """Synchronously run everything queued (ignoring deadlines)."""
+        reports = []
+        while True:
+            rep = self.step(force=True)
+            if rep is None:
+                return reports
+            reports.append(rep)
+
+    def next_flush_at(self, now: float) -> Optional[float]:
+        """Earliest absolute time a batch becomes due (None if queue empty)."""
+        with self._cond:
+            return self._queue.next_flush_at(now, self.config.max_batch,
+                                             self.config.flush_deadline)
+
+    # -- threaded mode -----------------------------------------------------
+    def warmup(self) -> dict:
+        """Pre-compile plans for the configured bucket ladder (see
+        :meth:`Predictor.warmup`); returns the compile report."""
+        lengths = self.config.warmup_lengths
+        if lengths is None:
+            b = self.predictor.bucket
+            lengths = [b, min(2 * b, self.predictor.max_len)]
+        return self.predictor.warmup(lengths=lengths,
+                                     batch_sizes=(1, self.config.max_batch))
+
+    def start(self, warmup: bool = True) -> "InferenceEngine":
+        """Warm the plan cache and spawn the daemon batcher thread."""
+        if self._thread is not None:
+            raise RuntimeError("engine already started")
+        if warmup:
+            self.warmup()
+        self._running = True
+        self._thread = threading.Thread(target=self._loop,
+                                        name="repro-engine-batcher",
+                                        daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop the batcher, draining queued requests first."""
+        if self._thread is None:
+            return
+        with self._cond:
+            self._running = False
+            self._cond.notify_all()
+        self._thread.join()
+        self._thread = None
+        # a submit racing stop() can slip its request in after the batcher
+        # loop's final empty-queue check; resolve any such straggler now so
+        # no accepted future is ever orphaned
+        self.drain()
+
+    def _loop(self) -> None:
+        mb, deadline = self.config.max_batch, self.config.flush_deadline
+        while True:
+            with self._cond:
+                if not self._running and len(self._queue) == 0:
+                    return
+                now = self.clock()
+                due_at = self._queue.next_flush_at(now, mb, deadline)
+                if due_at is None:
+                    self._cond.wait()
+                    continue
+                if due_at > now and self._running:
+                    self._cond.wait(timeout=due_at - now)
+                    continue
+                batch = self._queue.collect(now, mb, deadline,
+                                            force=not self._running)
+            if batch:
+                self._run(batch, now)
+
+    # -- introspection -----------------------------------------------------
+    def stats(self) -> dict:
+        """Counters, latency/batch histograms, queue depths, cache state."""
+        with self._cond:
+            queue = self._queue.depths()
+            cache = {"items": len(self._results),
+                     "capacity": self.config.result_cache_items,
+                     "inflight": len(self._inflight)}
+        pipeline = self.predictor.pipeline
+        return {"engine": self.metrics.snapshot(),
+                "queue": queue,
+                "result_cache": cache,
+                "predictor": dict(self.predictor.stats),
+                "pipeline": dict(getattr(pipeline, "stats", {}) or {})}

@@ -1,0 +1,250 @@
+"""Deterministic simulated-clock load harness for the inference engine.
+
+Real-time load tests are hopeless on shared 1-CPU CI: wall-clock arrival
+jitter swamps the quantities under test. This module replaces wall time
+with a **virtual clock** driven by a discrete-event loop: seeded open-loop
+arrival traces (:func:`poisson_trace`) are replayed against an
+:class:`~repro.serve.engine.InferenceEngine` whose service times come from
+a calibrated :class:`ServiceModel` instead of measurements. The engine
+still executes the *real* model on every batch — results are real, only
+the timeline is simulated — so one run yields bit-exact outputs **and**
+bit-exact virtual latency/throughput numbers, on any host, every time.
+That is what lets ``benchmarks/BENCH_serving.json`` gate tail latency in
+CI without flakes.
+
+Open-loop semantics: arrivals fire at their trace times regardless of
+completions (the production-realistic regime — clients do not politely
+wait). When the engine's admission control rejects an arrival it is
+counted and dropped, exactly like a load balancer shedding to a 429.
+
+The serial baseline (:func:`serial_baseline`) models the pre-engine
+deployment — one blocking ``predict_image`` worker serving the same trace
+FIFO — using the same :class:`ServiceModel`, so the speedup ratio isolates
+what continuous batching buys (fixed per-dispatch overhead amortized over
+``max_batch`` requests) from constants both paths share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .queueing import EngineOverloaded
+
+__all__ = ["Arrival", "SimClock", "ServiceModel", "poisson_trace",
+           "merge_traces", "run_load", "serial_baseline"]
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """One trace event: at ``time``, submit ``items[item]`` on ``lane``."""
+
+    time: float
+    item: int
+    lane: str = "interactive"
+    kind: str = "image"            #: "image" -> submit, "volume" -> submit_volume
+
+
+class SimClock:
+    """Forward-only virtual clock; pass ``clock.now`` to the engine."""
+
+    def __init__(self, t0: float = 0.0):
+        self._t = float(t0)
+
+    def now(self) -> float:
+        return self._t
+
+    def set(self, t: float) -> None:
+        """Advance to ``t`` (never moves backwards)."""
+        self._t = max(self._t, float(t))
+
+    def advance(self, dt: float) -> None:
+        if dt < 0:
+            raise ValueError("cannot advance backwards")
+        self._t += dt
+
+
+@dataclass
+class ServiceModel:
+    """Virtual service-time model: ``cost(B, L) = a + B * (L*b + c)``.
+
+    Defaults are calibrated against ``BENCH_inference.json`` on the 1-CPU
+    reference host: a compiled plan dispatch costs a roughly constant
+    ``batch_seconds`` of Python/kernel overhead (the quantity batching
+    amortizes), plus per-item work linear in padded sequence length
+    (``token_seconds``) and a stitch/postprocess term (``item_seconds``).
+    Absolute values matter less than their *ratio* — it determines the
+    achievable batching speedup — and the defaults are deliberately
+    conservative versus the measured single-image overhead share.
+    """
+
+    batch_seconds: float = 0.030
+    token_seconds: float = 2.0e-5
+    item_seconds: float = 0.003
+
+    def cost(self, batch: int, length: int) -> float:
+        """Virtual seconds to run one (batch, length) plan execution."""
+        if batch < 1 or length < 1:
+            raise ValueError("batch and length must be >= 1")
+        return self.batch_seconds + batch * (length * self.token_seconds
+                                             + self.item_seconds)
+
+    def serial(self, length: int) -> float:
+        """Virtual seconds for an unbatched single-request execution."""
+        return self.cost(1, length)
+
+
+def poisson_trace(rate: float, n: int, *, seed: int, n_items: int = 1,
+                  lane: str = "interactive", kind: str = "image",
+                  start: float = 0.0) -> List[Arrival]:
+    """Seeded open-loop Poisson arrivals (one client stream).
+
+    ``n`` arrivals at ``rate``/s from ``start``; each references a
+    uniformly drawn item index in ``[0, n_items)``. Everything flows from
+    ``seed`` — the same call always yields the same trace.
+    """
+    if rate <= 0 or n < 1 or n_items < 1:
+        raise ValueError("need rate > 0, n >= 1, n_items >= 1")
+    rng = np.random.default_rng(seed)
+    times = start + np.cumsum(rng.exponential(1.0 / rate, size=n))
+    items = rng.integers(0, n_items, size=n)
+    return [Arrival(float(t), int(i), lane, kind)
+            for t, i in zip(times, items)]
+
+
+def merge_traces(*traces: Sequence[Arrival]) -> List[Arrival]:
+    """Interleave client streams into one time-ordered trace."""
+    merged = [a for trace in traces for a in trace]
+    merged.sort(key=lambda a: (a.time, a.lane, a.item))
+    return merged
+
+
+def run_load(engine, trace: Sequence[Arrival], items: Sequence[np.ndarray],
+             clock: SimClock) -> Dict[str, object]:
+    """Replay an arrival trace through the engine under the virtual clock.
+
+    The engine must have been constructed with ``clock=clock.now`` and a
+    ``service_model`` (deterministic completions); :meth:`start` must NOT
+    have been called — this loop owns dispatch via ``engine.step``.
+
+    Discrete-event loop: between consecutive arrivals, run every batch
+    whose flush time (full bucket, or oldest-request deadline) and the
+    single server's availability both fall before the next arrival;
+    submissions are stamped at their exact trace times. Returns a report
+    with virtual throughput/latency plus the engine's own stats snapshot.
+    """
+    arrivals = sorted(trace, key=lambda a: (a.time, a.lane, a.item))
+    if not arrivals:
+        raise ValueError("empty trace")
+    t_begin = arrivals[0].time
+    free_at = clock.now()
+    futures = []
+    rejected = 0
+    retry_hints: List[float] = []
+
+    def pump(limit: float) -> None:
+        """Run all batches that can start strictly before ``limit``."""
+        nonlocal free_at
+        while True:
+            due = engine.next_flush_at(max(free_at, clock.now()))
+            if due is None:
+                return
+            start_t = max(free_at, due)
+            if start_t >= limit:
+                return
+            clock.set(start_t)
+            report = engine.step(start_t)
+            if report is None:      # pragma: no cover - policy safety net
+                return
+            free_at = start_t + report.cost
+
+    for arrival in arrivals:
+        pump(arrival.time)
+        clock.set(arrival.time)
+        payload = items[arrival.item]
+        try:
+            if arrival.kind == "volume":
+                futures.append(engine.submit_volume(payload,
+                                                    lane=arrival.lane))
+            else:
+                futures.append(engine.submit(payload, lane=arrival.lane))
+        except EngineOverloaded as exc:
+            rejected += 1
+            retry_hints.append(exc.retry_after)
+    pump(float("inf"))
+    clock.set(free_at)
+
+    unresolved = sum(1 for f in futures if not f.done())
+    if unresolved:
+        raise RuntimeError(f"{unresolved} accepted futures never resolved")
+    snap = engine.stats()
+    eng = snap["engine"]
+    # collapsed duplicates are accepted submissions served by their twin's
+    # execution — they count toward delivered throughput like cache hits
+    completed = (eng.get("completed", 0) + eng.get("cache_hits", 0)
+                 + eng.get("collapsed", 0))
+    makespan = max(clock.now() - t_begin, 1e-12)
+    batches = eng.get("batches", 0)
+    return {
+        "offered": len(arrivals),
+        "accepted": len(futures),
+        "rejected_submissions": rejected,
+        "mean_retry_after": (float(np.mean(retry_hints))
+                             if retry_hints else 0.0),
+        "requests_completed": completed,
+        "makespan": makespan,
+        "throughput": completed / makespan,
+        "batches": batches,
+        "mean_batch_size": (eng["batch_size"]["mean"] if batches else 0.0),
+        "latency": eng.get("latency"),
+        "latency_per_lane": {lane: eng[f"latency.{lane}"]
+                             for lane in engine.config.lanes
+                             if f"latency.{lane}" in eng},
+        "stats": snap,
+    }
+
+
+def serial_baseline(trace: Sequence[Arrival], lengths: Sequence[int],
+                    model: ServiceModel,
+                    queue_bound: Optional[int] = None) -> Dict[str, object]:
+    """The pre-engine deployment: one FIFO ``predict_image`` worker.
+
+    ``lengths[k]`` is the padded bucket length of the k-th (time-ordered)
+    arrival. ``queue_bound`` optionally sheds arrivals that would find
+    more than that many requests waiting (matching the engine's admission
+    control); shed arrivals are excluded from latency but counted.
+    """
+    arrivals = sorted(trace, key=lambda a: (a.time, a.lane, a.item))
+    if len(arrivals) != len(lengths):
+        raise ValueError("need one length per arrival")
+    free_at: Optional[float] = None
+    done_times: List[float] = []
+    latencies: List[float] = []
+    shed = 0
+    for arrival, length in zip(arrivals, lengths):
+        if queue_bound is not None and free_at is not None:
+            waiting = sum(1 for t in done_times if t > arrival.time)
+            if waiting > queue_bound:
+                shed += 1
+                continue
+        start = arrival.time if free_at is None else max(free_at, arrival.time)
+        free_at = start + model.serial(int(length))
+        done_times.append(free_at)
+        latencies.append(free_at - arrival.time)
+    if not latencies:
+        raise ValueError("every arrival was shed")
+    makespan = max(done_times[-1] - arrivals[0].time, 1e-12)
+    lat = np.asarray(latencies)
+    return {
+        "offered": len(arrivals),
+        "completed": len(latencies),
+        "shed": shed,
+        "makespan": makespan,
+        "throughput": len(latencies) / makespan,
+        "p50": float(np.percentile(lat, 50)),
+        "p95": float(np.percentile(lat, 95)),
+        "p99": float(np.percentile(lat, 99)),
+        "mean": float(lat.mean()),
+    }

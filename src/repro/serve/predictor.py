@@ -42,6 +42,16 @@ from .stitch import stitch_image, stitch_volume
 __all__ = ["Predictor", "predict_image"]
 
 
+def class_map(probs: np.ndarray) -> np.ndarray:
+    """Probability map -> int64 class map (argmax over channels; 0.5
+    threshold for single-channel binary heads). The single definition of
+    serving-side post-processing — shared by :meth:`Predictor.
+    predict_class_slices` and the engine's volume reassembly."""
+    if probs.shape[0] == 1:
+        return (probs[0] >= 0.5).astype(np.int64)
+    return probs.argmax(axis=0)
+
+
 class Predictor:
     """Micro-batched (optionally compiled) inference over APF sequences.
 
@@ -131,6 +141,49 @@ class Predictor:
             self.stats["compile_seconds"] += time.perf_counter() - t0
         return cm(tokens, coords, valid)
 
+    def warmup(self, lengths: Optional[Sequence[int]] = None,
+               batch_sizes: Optional[Sequence[int]] = None) -> dict:
+        """Pre-compile plans for a ladder of (batch, length) signatures.
+
+        Tracing+compiling a plan takes orders of magnitude longer than
+        executing it, so without warmup the *first* request landing on
+        each signature eats the whole compile. Serving front-ends (the
+        :class:`~repro.serve.engine.InferenceEngine`) call this from
+        ``start()`` with their configured bucket lengths so steady-state
+        latency applies from request one.
+
+        ``lengths`` are padded to the bucket grid and capped at the
+        positional table, then compiled for each of ``batch_sizes``
+        (default: 1 and ``max_batch`` — the partial-flush and full-flush
+        extremes). Signatures already in the plan cache are skipped; the
+        dummy inputs are zeros, which exercise the identical kernel graph
+        as real traffic. Returns compile accounting.
+        """
+        if not self.compiled:
+            return {"plans": 0, "compiled": 0, "compile_seconds": 0.0}
+        if lengths is None:
+            lengths = (self.bucket,)
+        if batch_sizes is None:
+            batch_sizes = (1, self.max_batch)
+        if any(n < 1 for n in lengths) or any(b < 1 for b in batch_sizes):
+            raise ValueError("lengths and batch_sizes must be >= 1")
+        embed = self.model.backbone.embed
+        token_dim = embed.proj.in_features
+        coord_dim = (embed.coord_proj.in_features
+                     if embed.coord_proj is not None else 3)
+        compiled = 0
+        for length in sorted({self.bucket_length(n) for n in lengths}):
+            for b in sorted(set(batch_sizes)):
+                tokens = np.zeros((b, length, token_dim))
+                if (tokens.shape, (b, length)) in self._plans:
+                    continue
+                coords = np.zeros((b, length, coord_dim))
+                valid = np.ones((b, length), dtype=bool)
+                self._forward(tokens, coords, valid)
+                compiled += 1
+        return {"plans": len(self._plans), "compiled": compiled,
+                "compile_seconds": self.stats["compile_seconds"]}
+
     def _stitch(self, seq, logits_row: np.ndarray) -> np.ndarray:
         pm = self.model.patch_size
         k = self.model.out_channels
@@ -182,13 +235,7 @@ class Predictor:
         """Per-slice class maps (argmax over channels; threshold at 0.5 for
         single-channel binary heads) — the callable
         :func:`~repro.train.volumetric.predict_volume_batched` expects."""
-        out = []
-        for probs in self.predict_batch(list(slices)):
-            if probs.shape[0] == 1:
-                out.append((probs[0] >= 0.5).astype(np.int64))
-            else:
-                out.append(probs.argmax(axis=0))
-        return out
+        return [class_map(probs) for probs in self.predict_batch(list(slices))]
 
     def predict_volume(self, volume: np.ndarray,
                        batch_size: Optional[int] = None) -> np.ndarray:

@@ -1,0 +1,47 @@
+"""Tests for the serving capacity-planning helpers (repro.perf.serving)."""
+
+import pytest
+
+from repro.perf import (batching_speedup_bound, engine_capacity,
+                        serial_capacity, utilization)
+from repro.serve import ServiceModel
+
+
+SM = ServiceModel(batch_seconds=0.04, token_seconds=1e-5, item_seconds=0.002)
+
+
+class TestCapacity:
+    def test_engine_capacity_amortizes_fixed_overhead(self):
+        # per item at B=8: 0.04/8 + 0.003 = 0.008 -> 125 req/s
+        assert engine_capacity(SM, 8, 100) == pytest.approx(8 / 0.064)
+        assert serial_capacity(SM, 100) == pytest.approx(1 / 0.043)
+        assert engine_capacity(SM, 1, 100) == serial_capacity(SM, 100)
+
+    def test_capacity_monotone_in_batch(self):
+        caps = [engine_capacity(SM, b, 128) for b in (1, 2, 4, 8, 16)]
+        assert caps == sorted(caps)
+
+    def test_speedup_bound_shape(self):
+        # bound = (a + s) / (a/B + s); grows with B, approaches (a + s)/s
+        bound8 = batching_speedup_bound(SM, 8, 100)
+        assert bound8 == pytest.approx(0.043 / (0.04 / 8 + 0.003))
+        assert 1.0 < batching_speedup_bound(SM, 2, 100) < bound8
+        assert bound8 < batching_speedup_bound(SM, 64, 100)
+        assert batching_speedup_bound(SM, 1, 100) == pytest.approx(1.0)
+
+    def test_long_sequences_blunt_batching(self):
+        # per-item work dominates at long L -> less overhead to amortize
+        assert (batching_speedup_bound(SM, 8, 2000)
+                < batching_speedup_bound(SM, 8, 50))
+
+    def test_utilization(self):
+        assert utilization(50.0, 100.0) == pytest.approx(0.5)
+        assert utilization(150.0, 100.0) > 1.0
+        with pytest.raises(ValueError):
+            utilization(-1.0, 100.0)
+        with pytest.raises(ValueError):
+            utilization(10.0, 0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            engine_capacity(SM, 0, 100)

@@ -1,0 +1,153 @@
+"""Tests for the simulated-clock load harness (determinism above all)."""
+
+import numpy as np
+import pytest
+
+from repro.data import SyntheticPAIP
+from repro.models.vit import ViTSegmenter
+from repro.pipeline import PatchPipeline
+from repro.serve import (Arrival, InferenceEngine, Predictor, ServiceModel,
+                         SimClock, merge_traces, poisson_trace, run_load,
+                         serial_baseline)
+
+
+def _setup(n=6, **engine_kw):
+    ds = SyntheticPAIP(64, n)
+    imgs = [ds[i].image for i in range(n)]
+    model = ViTSegmenter(patch_size=4, channels=1, dim=16, depth=1, heads=2,
+                         max_len=256, rng=np.random.default_rng(1))
+    pipe = PatchPipeline(patch_size=4, split_value=8.0, channels=1,
+                         cache_items=32)
+    pred = Predictor(model, pipe, max_batch=4, bucket=16)
+    clock = SimClock()
+    args = dict(clock=clock.now, service_model=ServiceModel(),
+                flush_deadline=0.02, result_cache_items=0)
+    args.update(engine_kw)
+    return imgs, InferenceEngine(pred, **args), clock
+
+
+class TestTraces:
+    def test_poisson_trace_is_seeded_and_sorted(self):
+        a = poisson_trace(10.0, 20, seed=7, n_items=4)
+        b = poisson_trace(10.0, 20, seed=7, n_items=4)
+        assert a == b
+        assert a != poisson_trace(10.0, 20, seed=8, n_items=4)
+        times = [x.time for x in a]
+        assert times == sorted(times)
+        assert all(0 <= x.item < 4 for x in a)
+        # mean inter-arrival ~ 1/rate
+        gaps = np.diff([0.0] + times)
+        assert 0.03 < gaps.mean() < 0.3
+
+    def test_merge_traces_orders_by_time(self):
+        a = poisson_trace(5.0, 5, seed=1)
+        b = poisson_trace(5.0, 5, seed=2, lane="bulk")
+        merged = merge_traces(a, b)
+        assert len(merged) == 10
+        assert [x.time for x in merged] == sorted(x.time for x in merged)
+
+    def test_trace_validation(self):
+        with pytest.raises(ValueError):
+            poisson_trace(0.0, 5, seed=1)
+        with pytest.raises(ValueError):
+            poisson_trace(1.0, 0, seed=1)
+
+
+class TestServiceModel:
+    def test_cost_model_shape(self):
+        sm = ServiceModel(batch_seconds=0.03, token_seconds=1e-5,
+                          item_seconds=0.002)
+        assert sm.serial(100) == pytest.approx(0.03 + 0.001 + 0.002)
+        assert sm.cost(8, 100) == pytest.approx(0.03 + 8 * 0.003)
+        # batching amortizes the fixed term: 8 items cheaper than 8 singles
+        assert sm.cost(8, 100) < 8 * sm.serial(100)
+        with pytest.raises(ValueError):
+            sm.cost(0, 100)
+
+
+class TestSimClock:
+    def test_forward_only(self):
+        c = SimClock(5.0)
+        c.set(4.0)
+        assert c.now() == 5.0
+        c.advance(1.5)
+        assert c.now() == 6.5
+        with pytest.raises(ValueError):
+            c.advance(-1.0)
+
+
+class TestRunLoad:
+    def test_deterministic_across_runs(self):
+        reports = []
+        for _ in range(2):
+            imgs, engine, clock = _setup()
+            trace = merge_traces(*[poisson_trace(8.0, 6, seed=10 + c,
+                                                 n_items=len(imgs))
+                                   for c in range(3)])
+            reports.append(run_load(engine, trace, imgs, clock))
+        a, b = reports
+        assert a["throughput"] == b["throughput"]
+        assert a["latency"] == b["latency"]
+        assert a["batches"] == b["batches"]
+        assert a["rejected_submissions"] == b["rejected_submissions"]
+
+    def test_all_accepted_requests_complete(self):
+        imgs, engine, clock = _setup()
+        trace = poisson_trace(20.0, 15, seed=3, n_items=len(imgs))
+        report = run_load(engine, trace, imgs, clock)
+        assert report["offered"] == 15
+        assert (report["requests_completed"] + report["rejected_submissions"]
+                == 15)
+        assert report["makespan"] > 0
+        assert report["latency"]["count"] == report["requests_completed"]
+
+    def test_overload_sheds_and_hints(self):
+        imgs, engine, clock = _setup(max_queue=4)
+        trace = poisson_trace(500.0, 40, seed=5, n_items=len(imgs))
+        report = run_load(engine, trace, imgs, clock)
+        assert report["rejected_submissions"] > 0
+        assert report["mean_retry_after"] > 0
+
+    def test_empty_trace_rejected(self):
+        imgs, engine, clock = _setup()
+        with pytest.raises(ValueError):
+            run_load(engine, [], imgs, clock)
+
+    def test_batching_beats_serial_baseline(self):
+        imgs, engine, clock = _setup()
+        pred = engine.predictor
+        trace = merge_traces(*[poisson_trace(15.0, 8, seed=20 + c,
+                                             n_items=len(imgs))
+                               for c in range(4)])
+        report = run_load(engine, trace, imgs, clock)
+        ordered = sorted(trace, key=lambda a: (a.time, a.lane, a.item))
+        lengths = [pred.bucket_length(len(pred._naturals([imgs[a.item]],
+                                                         [a.item])[0]))
+                   for a in ordered]
+        serial = serial_baseline(trace, lengths, ServiceModel())
+        assert report["throughput"] > serial["throughput"]
+
+
+class TestSerialBaseline:
+    def test_fifo_queueing_math(self):
+        sm = ServiceModel(batch_seconds=0.03, token_seconds=0.0,
+                          item_seconds=0.01)
+        trace = [Arrival(0.0, 0), Arrival(0.01, 0), Arrival(10.0, 0)]
+        out = serial_baseline(trace, [32, 32, 32], sm)
+        # svc = 0.04: req2 queues behind req1; req3 arrives to an idle server
+        assert out["p50"] == pytest.approx(0.04)
+        assert out["mean"] == pytest.approx((0.04 + 0.07 + 0.04) / 3)
+        assert out["makespan"] == pytest.approx(10.04)
+        assert out["completed"] == 3
+
+    def test_queue_bound_sheds(self):
+        sm = ServiceModel(batch_seconds=1.0, token_seconds=0.0,
+                          item_seconds=0.0)
+        trace = [Arrival(0.0, 0), Arrival(0.1, 0), Arrival(0.2, 0)]
+        out = serial_baseline(trace, [32, 32, 32], sm, queue_bound=1)
+        assert out["shed"] == 1
+        assert out["completed"] == 2
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            serial_baseline([Arrival(0.0, 0)], [32, 32], ServiceModel())

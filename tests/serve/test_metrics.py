@@ -1,0 +1,108 @@
+"""Tests for the serving metrics registry (counters + streaming histograms)."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.serve import Counter, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("x").inc(-1)
+
+
+class TestHistogram:
+    def test_quantiles_track_numpy_percentile(self):
+        rng = np.random.default_rng(0)
+        samples = rng.lognormal(mean=-3.0, sigma=1.0, size=5000)
+        h = Histogram("lat")
+        for s in samples:
+            h.observe(float(s))
+        for p in (50, 95, 99):
+            exact = np.percentile(samples, p)
+            approx = h.percentile(p)
+            # log-bucketed: relative error bounded by the growth factor
+            assert abs(approx - exact) / exact < 0.15, (p, approx, exact)
+
+    def test_extremes_are_exact(self):
+        h = Histogram("lat")
+        for x in (0.5, 0.001, 2.0, 0.25):
+            h.observe(x)
+        assert h.min == 0.001
+        assert h.max == 2.0
+        assert h.count == 4
+        assert h.mean == pytest.approx((0.5 + 0.001 + 2.0 + 0.25) / 4)
+        # quantiles clamp into [min, max]
+        assert h.percentile(0) >= h.min
+        assert h.percentile(100) <= h.max
+
+    def test_zero_and_tiny_observations(self):
+        h = Histogram("lat")
+        h.observe(0.0)
+        h.observe(1e-12)       # below lo -> first bucket
+        assert h.count == 2
+        assert h.percentile(99) <= 1e-6 + 1e-12
+
+    def test_empty_and_validation(self):
+        h = Histogram("lat")
+        assert h.percentile(99) == 0.0
+        assert h.summary()["count"] == 0
+        with pytest.raises(ValueError):
+            h.observe(-1.0)
+        with pytest.raises(ValueError):
+            h.percentile(101)
+        with pytest.raises(ValueError):
+            Histogram("bad", lo=1.0, hi=0.5)
+        with pytest.raises(ValueError):
+            Histogram("bad", growth=1.0)
+
+    def test_summary_keys(self):
+        h = Histogram("lat")
+        h.observe(0.1)
+        assert set(h.summary()) == {"count", "mean", "min", "max",
+                                    "p50", "p95", "p99"}
+
+    def test_overflow_clamps_to_last_bucket(self):
+        h = Histogram("lat", hi=1.0)
+        h.observe(50.0)
+        assert h.max == 50.0
+        assert h.percentile(99) == 50.0   # clamped to tracked max
+
+
+class TestRegistry:
+    def test_idempotent_names_and_snapshot(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.histogram("h") is reg.histogram("h")
+        reg.inc("a", 2)
+        reg.observe("h", 0.5)
+        snap = reg.snapshot()
+        assert snap["a"] == 2
+        assert snap["h"]["count"] == 1
+        assert list(reg.names()) == ["a", "h"]
+
+    def test_concurrent_recording(self):
+        reg = MetricsRegistry()
+        n, threads = 500, 8
+
+        def work(k):
+            for i in range(n):
+                reg.inc("total")
+                reg.observe("lat", 0.001 * (k + 1))
+
+        ts = [threading.Thread(target=work, args=(k,)) for k in range(threads)]
+        for t in ts:
+            t.start()
+        for t in ts:
+            t.join()
+        assert reg.counter("total").value == n * threads
+        assert reg.histogram("lat").count == n * threads

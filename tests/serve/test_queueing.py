@@ -1,0 +1,148 @@
+"""Tests for the fair queue: lanes, flush policy, admission control."""
+
+import pytest
+
+from repro.serve import EngineOverloaded, FairQueue, Request
+
+
+def req(bucket=32, lane="interactive", t=0.0):
+    return Request(seq=None, bucket=bucket, lane=lane, submit_t=t)
+
+
+class TestAdmission:
+    def test_bounded_depth_raises_with_retry_hint(self):
+        q = FairQueue({"interactive": 1.0}, max_depth=2)
+        q.push(req(t=0.0))
+        q.push(req(t=0.1))
+        with pytest.raises(EngineOverloaded) as exc:
+            q.push(req(t=0.2), retry_after=0.5)
+        assert exc.value.retry_after == 0.5
+        assert len(q) == 2
+
+    def test_push_all_is_atomic(self):
+        q = FairQueue({"interactive": 1.0}, max_depth=3)
+        q.push(req())
+        with pytest.raises(EngineOverloaded):
+            q.push_all([req(), req(), req()])
+        assert len(q) == 1          # nothing from the failed group entered
+        q.push_all([req(), req()])
+        assert len(q) == 3
+        assert q.capacity_left == 0
+
+    def test_unknown_lane_and_validation(self):
+        q = FairQueue({"interactive": 1.0})
+        with pytest.raises(ValueError):
+            q.push(req(lane="vip"))
+        with pytest.raises(ValueError):
+            FairQueue({})
+        with pytest.raises(ValueError):
+            FairQueue({"a": 0.0})
+        with pytest.raises(ValueError):
+            FairQueue({"a": 1.0}, max_depth=0)
+
+
+class TestFlushPolicy:
+    def test_full_bucket_flushes_immediately_fifo(self):
+        q = FairQueue({"interactive": 1.0})
+        reqs = [req(bucket=32, t=0.01 * i) for i in range(5)]
+        for r in reqs:
+            q.push(r)
+        assert q.next_flush_at(0.05, max_batch=4, deadline=1.0) == 0.05
+        batch = q.collect(0.05, max_batch=4, deadline=1.0)
+        assert batch == reqs[:4]            # strict FIFO within one lane
+        # remainder is below max_batch and under deadline: nothing due
+        assert q.collect(0.05, max_batch=4, deadline=1.0) is None
+        assert len(q) == 1
+
+    def test_deadline_flushes_partial_batch(self):
+        q = FairQueue({"interactive": 1.0})
+        q.push(req(bucket=32, t=1.0))
+        q.push(req(bucket=64, t=1.5))
+        assert q.next_flush_at(1.2, 8, deadline=0.5) == pytest.approx(1.5)
+        assert q.collect(1.4, 8, deadline=0.5) is None
+        batch = q.collect(1.6, 8, deadline=0.5)     # oldest hit its deadline
+        assert len(batch) == 1 and batch[0].bucket == 32
+        # next-oldest now drives the flush clock
+        assert q.next_flush_at(2.0, 8, deadline=0.5) == pytest.approx(2.0)
+
+    def test_batches_never_mix_buckets(self):
+        q = FairQueue({"interactive": 1.0})
+        for i in range(6):
+            q.push(req(bucket=32 if i % 2 == 0 else 64, t=0.0))
+        seen = []
+        while True:
+            batch = q.collect(10.0, max_batch=8, deadline=0.1)
+            if batch is None:
+                break
+            assert len({r.bucket for r in batch}) == 1
+            seen.append((batch[0].bucket, len(batch)))
+        assert sorted(seen) == [(32, 3), (64, 3)]
+
+    def test_expired_request_preempts_full_bucket(self):
+        # latency bound beats occupancy: a continuously full bucket must
+        # not starve a deadline-expired request parked in a sparse bucket
+        q = FairQueue({"interactive": 1.0}, max_depth=100)
+        straggler = req(bucket=64, t=0.0)
+        q.push(straggler)
+        for i in range(8):
+            q.push(req(bucket=32, t=1.0))
+        batch = q.collect(1.0, max_batch=8, deadline=0.5)
+        assert batch == [straggler]          # expired at t=0.5 < now
+        # with the straggler served, the full bucket flushes as usual
+        assert len(q.collect(1.0, max_batch=8, deadline=0.5)) == 8
+
+    def test_force_drains_regardless_of_deadline(self):
+        q = FairQueue({"interactive": 1.0})
+        q.push(req(t=5.0))
+        assert q.collect(5.0, 8, deadline=10.0) is None
+        assert len(q.collect(5.0, 8, deadline=10.0, force=True)) == 1
+
+    def test_empty_queue(self):
+        q = FairQueue({"interactive": 1.0})
+        assert q.next_flush_at(0.0, 8, 0.1) is None
+        assert q.collect(0.0, 8, 0.1) is None
+        assert q.collect(0.0, 8, 0.1, force=True) is None
+
+
+class TestWeightedFairness:
+    def test_backlogged_lanes_share_by_weight(self):
+        q = FairQueue({"fast": 3.0, "slow": 1.0}, max_depth=200)
+        for i in range(40):                 # interleaved arrivals, one bucket
+            q.push(req(lane="fast", t=0.001 * i))
+            q.push(req(lane="slow", t=0.001 * i))
+        batch = q.collect(1.0, max_batch=16, deadline=0.0)
+        counts = {"fast": 0, "slow": 0}
+        for r in batch:
+            counts[r.lane] += 1
+        # 3:1 weights -> 12 fast / 4 slow in a 16-slot batch
+        assert counts == {"fast": 12, "slow": 4}
+
+    def test_single_lane_dispatch_is_arrival_order(self):
+        q = FairQueue({"only": 2.0})
+        reqs = [req(lane="only", t=float(i)) for i in range(7)]
+        for r in reqs:
+            q.push(r)
+        out = []
+        while len(q):
+            out.extend(q.collect(100.0, max_batch=3, deadline=0.0))
+        assert out == reqs
+
+    def test_idle_lane_rejoins_at_current_vclock(self):
+        q = FairQueue({"a": 1.0, "b": 1.0}, max_depth=100)
+        for i in range(20):                 # lane a builds a long backlog
+            q.push(req(lane="a", t=0.0))
+        q.collect(1.0, max_batch=10, deadline=0.0)   # advances the vclock
+        q.push(req(lane="b", t=1.0))        # b was idle the whole time
+        batch = q.collect(1.0, max_batch=10, deadline=0.0)
+        # b must not monopolize: it gets (roughly) one fair slot, not all
+        assert sum(1 for r in batch if r.lane == "b") == 1
+
+    def test_depths_snapshot(self):
+        q = FairQueue({"a": 1.0, "b": 1.0})
+        q.push(req(lane="a", bucket=32))
+        q.push(req(lane="b", bucket=64))
+        q.push(req(lane="b", bucket=64))
+        d = q.depths()
+        assert d["total"] == 3
+        assert d["per_lane"] == {"a": 1, "b": 2}
+        assert d["per_bucket"] == {32: 1, 64: 2}
