@@ -1,0 +1,95 @@
+"""Out-of-core streaming inference demo: a virtual gigapixel-style WSI.
+
+Walks the streaming subsystem end to end:
+1. open a ``VirtualWSISource`` — a procedural PAIP-style slide that is
+   addressable tile by tile and never materialized in memory,
+2. plan it into quadtree-aligned macro-tiles scheduled along the Morton
+   curve (``plan_scene``), with per-tile working-set estimates,
+3. stream it through the compiled ``Predictor`` with a hard memory bound
+   (``StreamingRunner`` + ``TracedMemory``), checkpointing each finished
+   macro-tile to an ``NpyDirectorySink``,
+4. kill the run halfway, resume it, and verify the resumed output is
+   byte-identical to an uninterrupted run.
+
+Scale the same three lines to a real 64K² slide by raising ``RES`` —
+peak memory stays a few macro-tiles regardless.
+
+Run:  PYTHONPATH=src python examples/streaming_wsi.py
+"""
+
+import json
+import shutil
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.models import ViTSegmenter
+from repro.pipeline import PatchPipeline
+from repro.serve import Predictor
+from repro.stream import (NpyDirectorySink, StreamingRunner, VirtualWSISource,
+                          plan_scene)
+
+RES, TILE = 2048, 512           # 16 macro-tiles; raise RES for real scale
+
+
+def make_predictor():
+    model = ViTSegmenter(patch_size=4, channels=1, dim=32, depth=2, heads=4,
+                         max_len=512, rng=np.random.default_rng(0)).eval()
+    pipe = PatchPipeline(patch_size=4, split_value=16.0, channels=1,
+                         cache_items=4)
+    return Predictor(model, pipe, max_batch=4, bucket=64)
+
+
+class DieAfter:
+    """Sink wrapper that kills the process stand-in after ``n`` tiles."""
+
+    def __init__(self, inner, n):
+        self.inner, self.left = inner, n
+
+    def completed(self, plan):
+        return self.inner.completed(plan)
+
+    def write(self, tile, arr):
+        if self.left == 0:
+            raise KeyboardInterrupt
+        self.inner.write(tile, arr)
+        self.left -= 1
+
+
+def main():
+    out = Path(tempfile.mkdtemp(prefix="streaming_wsi_"))
+    source = VirtualWSISource(RES, seed=0, organ=2, tile=TILE)
+    plan = plan_scene(source.shape, tile=TILE, max_len=512)
+    print("— plan —")
+    print(json.dumps(plan.describe(), indent=2))
+    print(f"scene would cost {plan.scene_bytes / 1e9:.2f} GB materialized; "
+          f"working set is {plan.working_set_bytes() / 1e6:.0f} MB/tile")
+
+    # 1) stream straight through, memory-tracked
+    sink = NpyDirectorySink(out / "straight", dtype=np.uint8)
+    report = StreamingRunner(make_predictor(), track_memory=True).run(
+        source, plan, sink)
+    print("\n— streamed —")
+    print(json.dumps(report.to_dict(), indent=2))
+    print(f"peak traced memory: {report.peak_traced_bytes / 1e6:.0f} MB "
+          f"({report.peak_traced_bytes / plan.scene_bytes:.1%} of the scene)")
+
+    # 2) kill halfway, then resume: byte-identical artifacts
+    resumed = NpyDirectorySink(out / "resumed", dtype=np.uint8)
+    try:
+        StreamingRunner(make_predictor()).run(
+            source, plan, DieAfter(resumed, len(plan.tiles) // 2))
+    except KeyboardInterrupt:
+        print(f"\nkilled after {len(resumed.completed(plan))} tiles; resuming…")
+    resume_report = StreamingRunner(make_predictor()).run(source, plan, resumed)
+    print(f"resume skipped {resume_report.tiles_skipped}, "
+          f"ran {resume_report.tiles_run}")
+    assert resumed.digest(plan) == sink.digest(plan)
+    print("resumed output is byte-identical to the uninterrupted run ✓")
+
+    shutil.rmtree(out)
+
+
+if __name__ == "__main__":
+    main()

@@ -13,7 +13,9 @@ organized by subsystem:
 * :mod:`repro.train` — trainer, tasks, checkpointing, volumetric inference
 * :mod:`repro.metrics` — dice, IoU, accuracy
 * :mod:`repro.distributed` — simulated collectives + data parallelism
-* :mod:`repro.perf` — FLOP/memory/cost models
+* :mod:`repro.serve` — compiled micro-batching Predictor + async engine
+* :mod:`repro.stream` — out-of-core streaming inference (gigapixel scenes)
+* :mod:`repro.perf` — FLOP/memory/cost models, memory tracking
 * :mod:`repro.experiments` — per-table/figure runners (also a CLI:
   ``python -m repro.experiments <artifact>``)
 
@@ -32,4 +34,14 @@ from . import (data, distributed, imaging, metrics, models, nn, patching,
                perf, pipeline, quadtree, train)
 
 __all__ = ["nn", "imaging", "quadtree", "patching", "pipeline", "data",
-           "models", "train", "metrics", "distributed", "perf", "__version__"]
+           "models", "train", "metrics", "distributed", "perf", "serve",
+           "stream", "__version__"]
+
+
+def __getattr__(name):
+    # serve/stream import runtime/serve machinery; lazy so `import repro`
+    # stays light for pure-preprocessing users.
+    if name in ("serve", "stream"):
+        import importlib
+        return importlib.import_module(f".{name}", __name__)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -105,10 +105,11 @@ class PatchSequence:
         """
         tm = np.asarray(token_maps)
         if tm.ndim == 2:
-            tm = tm[:, :, None, None] * np.ones((1, 1, self.patch_size, self.patch_size))
+            tm = np.broadcast_to(tm[:, :, None, None],
+                                 tm.shape + (self.patch_size, self.patch_size))
         if tm.ndim != 4 or len(tm) != len(self):
-            raise ValueError(f"token_maps shape {token_maps.shape} does not match "
-                             f"sequence of length {len(self)}")
+            raise ValueError(f"token_maps shape {np.shape(token_maps)} does not "
+                             f"match sequence of length {len(self)}")
         k = tm.shape[1]
         z = self.image_size
         out = np.full((k, z, z), fill, dtype=np.float64)

@@ -1,5 +1,6 @@
 """``repro.perf`` — FLOP/memory models, α–β cost model, equal-cost analysis,
-serving capacity planning, and crash-safe benchmark artifact I/O."""
+serving capacity planning, process-memory tracking, and crash-safe benchmark
+artifact I/O."""
 
 from .artifacts import write_json_atomic
 from .costmodel import ClusterSpec, CostModel
@@ -7,6 +8,7 @@ from .equivalence import (apf_length_curve, equal_cost_patch_size,
                           equivalent_sequence_gain)
 from .flops import (TransformerConfig, activation_bytes, attention_flops,
                     attention_memory_bytes, encoder_flops, training_flops)
+from .memory import TracedMemory, current_rss_bytes, peak_rss_bytes
 from .serving import (batching_speedup_bound, engine_capacity,
                       serial_capacity, utilization)
 
@@ -18,4 +20,5 @@ __all__ = [
     "write_json_atomic",
     "engine_capacity", "serial_capacity", "batching_speedup_bound",
     "utilization",
+    "TracedMemory", "current_rss_bytes", "peak_rss_bytes",
 ]

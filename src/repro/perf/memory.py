@@ -1,0 +1,120 @@
+"""Process-memory observability for the streaming runner and its bench gate.
+
+Two complementary measurements:
+
+* **RSS** (:func:`current_rss_bytes`, :func:`peak_rss_bytes`) — what the
+  OS actually charges the process. Honest but noisy: it includes the
+  interpreter, imported libraries, allocator fragmentation, and anything
+  the kernel has not reclaimed yet, so it only moves *up* in coarse steps
+  and differs across hosts.
+* **Traced allocation** (:class:`TracedMemory`) — ``tracemalloc`` peaks
+  over a scoped region. NumPy routes its data buffers through the traced
+  allocator, so the peak measures exactly the array working set a code
+  region touches, byte-for-byte reproducibly across runs and hosts. This
+  is what the streaming bench gates on: a CI assertion on RSS would flake
+  with allocator/version drift, while the traced peak is deterministic.
+
+The two agree on the *headline* question ("does streaming a 16K² scene
+stay bounded by a few macro-tiles?") because the scene arrays dwarf every
+other allocation by orders of magnitude.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import tracemalloc
+from typing import Optional
+
+__all__ = ["current_rss_bytes", "peak_rss_bytes", "TracedMemory"]
+
+
+def current_rss_bytes() -> Optional[int]:
+    """Resident-set size of this process in bytes (None if unsupported).
+
+    Reads ``/proc/self/statm`` (Linux); other platforms fall back to None
+    rather than guessing — callers treat the value as advisory telemetry.
+    """
+    try:
+        with open("/proc/self/statm") as fh:
+            resident_pages = int(fh.read().split()[1])
+        return resident_pages * os.sysconf("SC_PAGE_SIZE")
+    except (OSError, ValueError, IndexError):
+        return None
+
+
+def peak_rss_bytes() -> Optional[int]:
+    """Lifetime peak RSS in bytes via ``getrusage`` (None if unsupported).
+
+    ``ru_maxrss`` is kilobytes on Linux and bytes on macOS; normalized
+    here. The value is a process-lifetime high-water mark — it cannot be
+    reset, so scoped measurements should use :class:`TracedMemory`.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - not exercised on CI
+        return int(peak)
+    return int(peak) * 1024
+
+
+class TracedMemory:
+    """Context manager measuring the peak traced-allocation delta.
+
+    Measures ``tracemalloc`` peak minus the baseline at ``__enter__`` —
+    i.e. the largest amount of *additional* memory the wrapped region held
+    at any instant. Tracing started by the context is stopped on exit;
+    tracing that was already active (e.g. an enclosing measurement) is
+    left running. Scopes nest: entering an inner scope first folds the
+    global peak into every enclosing :class:`TracedMemory` (so nothing
+    recorded before the reset is lost), then resets the peak counter so
+    the inner scope measures only its own region. Scopes are tracked in a
+    module-level stack — nest them on one thread. Caveat: tracing started
+    *externally* (a bare ``tracemalloc.start()``) also has its global peak
+    counter reset on scope entry — only enclosing :class:`TracedMemory`
+    scopes are preserved; read your peak before entering one.
+
+    Attributes
+    ----------
+    peak_bytes:
+        Peak allocation above the entry baseline (0 until exit or
+        :meth:`update`).
+    baseline_bytes:
+        Traced bytes live at entry.
+    """
+
+    _active: list = []       # enclosing scopes, innermost last
+
+    def __init__(self) -> None:
+        self.peak_bytes = 0
+        self.baseline_bytes = 0
+        self._started = False
+
+    def __enter__(self) -> "TracedMemory":
+        if not tracemalloc.is_tracing():
+            tracemalloc.start()
+            self._started = True
+        else:
+            for scope in TracedMemory._active:
+                scope.update()           # preserve peaks we are about to reset
+            tracemalloc.reset_peak()
+        self.baseline_bytes = tracemalloc.get_traced_memory()[0]
+        TracedMemory._active.append(self)
+        return self
+
+    def update(self) -> int:
+        """Fold the current peak into :attr:`peak_bytes` and return it."""
+        if tracemalloc.is_tracing():
+            _, peak = tracemalloc.get_traced_memory()
+            self.peak_bytes = max(self.peak_bytes, peak - self.baseline_bytes)
+        return self.peak_bytes
+
+    def __exit__(self, *exc) -> None:
+        self.update()
+        if self in TracedMemory._active:
+            TracedMemory._active.remove(self)
+        if self._started:
+            tracemalloc.stop()
+            self._started = False

@@ -16,7 +16,7 @@ Two layers:
 from .engine import BatchReport, EngineConfig, InferenceEngine
 from .loadgen import (Arrival, ServiceModel, SimClock, merge_traces,
                       poisson_trace, run_load, serial_baseline)
-from .metrics import Counter, Histogram, MetricsRegistry
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .predictor import Predictor, predict_image
 from .queueing import EngineOverloaded, FairQueue, Request
 from .stitch import stitch_image, stitch_volume
@@ -25,7 +25,7 @@ __all__ = [
     "Predictor", "predict_image", "stitch_image", "stitch_volume",
     "InferenceEngine", "EngineConfig", "BatchReport",
     "FairQueue", "Request", "EngineOverloaded",
-    "Counter", "Histogram", "MetricsRegistry",
+    "Counter", "Gauge", "Histogram", "MetricsRegistry",
     "Arrival", "SimClock", "ServiceModel", "poisson_trace", "merge_traces",
     "run_load", "serial_baseline",
 ]

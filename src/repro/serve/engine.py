@@ -262,6 +262,7 @@ class InferenceEngine:
             self.metrics.inc("submitted", len(images))
             self.metrics.inc("cache_hits", len(hits))
             self.metrics.inc("collapsed", n_chained)
+            self.metrics.gauge("queue_depth").set(len(self._queue))
             self._cond.notify_all()
         for i, value in hits.items():
             self.metrics.observe("latency", 0.0)
@@ -382,6 +383,7 @@ class InferenceEngine:
         with self._cond:
             batch = self._queue.collect(now, self.config.max_batch,
                                         self.config.flush_deadline, force)
+            self.metrics.gauge("queue_depth").set(len(self._queue))
         if batch is None:
             return None
         return self._run(batch, now)
@@ -455,10 +457,22 @@ class InferenceEngine:
                     continue
                 batch = self._queue.collect(now, mb, deadline,
                                             force=not self._running)
+                self.metrics.gauge("queue_depth").set(len(self._queue))
             if batch:
                 self._run(batch, now)
 
     # -- introspection -----------------------------------------------------
+    @property
+    def is_running(self) -> bool:
+        """True while the daemon batcher thread is alive (threaded mode).
+
+        Checks liveness, not just :meth:`start` having been called: if the
+        batcher died from an uncaught error, callers (e.g. the streaming
+        runner) must fall back to driving :meth:`step` themselves instead
+        of waiting on futures the dead thread will never resolve.
+        """
+        return self._thread is not None and self._thread.is_alive()
+
     def stats(self) -> dict:
         """Counters, latency/batch histograms, queue depths, cache state."""
         with self._cond:
@@ -466,6 +480,13 @@ class InferenceEngine:
             cache = {"items": len(self._results),
                      "capacity": self.config.result_cache_items,
                      "inflight": len(self._inflight)}
+        # Observability for streaming backpressure: how deep the waiting
+        # room got, and how much traffic the result cache absorbed.
+        queue["peak_depth"] = self.metrics.gauge("queue_depth").peak
+        hits = self.metrics.counter("cache_hits").value
+        submitted = self.metrics.counter("submitted").value
+        cache["hits"] = hits
+        cache["hit_rate"] = hits / submitted if submitted else 0.0
         pipeline = self.predictor.pipeline
         return {"engine": self.metrics.snapshot(),
                 "queue": queue,

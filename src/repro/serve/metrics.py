@@ -22,7 +22,7 @@ import math
 import threading
 from typing import Dict, Iterable, Optional
 
-__all__ = ["Counter", "Histogram", "MetricsRegistry"]
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
 
 
 class Counter:
@@ -45,6 +45,42 @@ class Counter:
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Counter({self.name}={self._value})"
+
+
+class Gauge:
+    """Point-in-time value with a peak high-water mark (thread-safe).
+
+    Counters only go up and histograms aggregate; a gauge answers "what is
+    it *now* and how bad did it *get*" — queue depth, in-flight tiles,
+    resident bytes. The peak is what backpressure tuning reads: a peak
+    queue depth pinned at capacity means the producer outruns the batcher.
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0.0
+        self._peak = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+            self._peak = max(self._peak, value)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    @property
+    def peak(self) -> float:
+        return self._peak
+
+    def summary(self) -> Dict[str, float]:
+        with self._lock:
+            return {"value": self._value, "peak": self._peak}
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Gauge({self.name}={self._value}, peak={self._peak})"
 
 
 class Histogram:
@@ -137,6 +173,7 @@ class MetricsRegistry:
 
     def __init__(self):
         self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
         self._lock = threading.Lock()
 
@@ -145,6 +182,12 @@ class MetricsRegistry:
             if name not in self._counters:
                 self._counters[name] = Counter(name)
             return self._counters[name]
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            if name not in self._gauges:
+                self._gauges[name] = Gauge(name)
+            return self._gauges[name]
 
     def histogram(self, name: str, **kwargs) -> Histogram:
         with self._lock:
@@ -159,14 +202,17 @@ class MetricsRegistry:
         self.histogram(name).observe(x)
 
     def snapshot(self) -> Dict[str, object]:
-        """Plain-dict view: counters as ints, histograms as summaries."""
+        """Plain-dict view: counters as ints, gauges/histograms as summaries."""
         with self._lock:
             counters = list(self._counters.values())
+            gauges = list(self._gauges.values())
             hists = list(self._histograms.values())
         out: Dict[str, object] = {c.name: c.value for c in counters}
+        out.update({g.name: g.summary() for g in gauges})
         out.update({h.name: h.summary() for h in hists})
         return out
 
     def names(self) -> Iterable[str]:
         with self._lock:
-            return sorted(set(self._counters) | set(self._histograms))
+            return sorted(set(self._counters) | set(self._gauges)
+                          | set(self._histograms))

@@ -29,7 +29,10 @@ def stitch_image(seq, token_maps: np.ndarray, fill: float = 0.0) -> np.ndarray:
     tm = np.asarray(token_maps)
     pm = seq.patch_size
     if tm.ndim == 2:
-        tm = tm[:, :, None, None] * np.ones((1, 1, pm, pm))
+        # zero-copy broadcast view, not a multiply by ones: the per-group
+        # fancy indexing below materializes only the rows it paints, so the
+        # L·K·Pm² temporary never exists (bitwise-identical values).
+        tm = np.broadcast_to(tm[:, :, None, None], tm.shape + (pm, pm))
     if tm.ndim != 4 or len(tm) != len(seq):
         raise ValueError(f"token_maps shape {np.shape(token_maps)} does not "
                          f"match sequence of length {len(seq)}")

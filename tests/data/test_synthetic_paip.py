@@ -1,0 +1,87 @@
+"""Satellite coverage for ``synthetic_paip.generate_wsi`` (ISSUE 5): seed
+determinism across resolutions/organs, image/mask shape agreement, and the
+per-organ lesion-morphology invariant the Table V classification task rests
+on — total lesion area matched across organs, with morphology (component
+count / scale) ordered by the organ's lesion-scale divisor."""
+
+import numpy as np
+import pytest
+from scipy import ndimage
+
+from repro.data import NUM_ORGAN_CLASSES, generate_wsi
+
+EIGHT = np.ones((3, 3))      # 8-connectivity for lesion components
+
+
+def _morphology(resolution, seed):
+    """Per-organ (area, n_components, mean_component_size) at fixed seed."""
+    stats = []
+    for organ in range(NUM_ORGAN_CLASSES):
+        mask = generate_wsi(resolution, seed, organ=organ).mask
+        _, n = ndimage.label(mask, structure=EIGHT)
+        area = float(mask.sum())
+        stats.append((area, n, area / max(n, 1)))
+    return stats
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("resolution", [32, 64, 128])
+    def test_same_seed_bitwise_identical(self, resolution):
+        a = generate_wsi(resolution, seed=9)
+        b = generate_wsi(resolution, seed=9)
+        np.testing.assert_array_equal(a.image, b.image)
+        np.testing.assert_array_equal(a.mask, b.mask)
+        assert a.organ == b.organ
+
+    def test_organ_override_keeps_determinism(self):
+        a = generate_wsi(64, seed=4, organ=3)
+        b = generate_wsi(64, seed=4, organ=3)
+        np.testing.assert_array_equal(a.image, b.image)
+
+    def test_resolution_enters_the_seed(self):
+        a = generate_wsi(64, seed=4)
+        b = generate_wsi(128, seed=4)
+        assert not np.array_equal(a.image[:64, :64], b.image[:64, :64])
+
+
+class TestShapeAgreement:
+    @pytest.mark.parametrize("resolution", [32, 64, 128])
+    def test_mask_matches_image_plane(self, resolution):
+        s = generate_wsi(resolution, seed=0)
+        assert s.image.shape == (resolution, resolution, 3)
+        assert s.mask.shape == s.image.shape[:2]
+        assert s.image.dtype == np.float64 and s.mask.dtype == np.float64
+
+    def test_mask_is_binary_and_inside_tissue(self):
+        s = generate_wsi(128, seed=1, organ=0)
+        assert set(np.unique(s.mask)).issubset({0.0, 1.0})
+        # lesion pixels are darker than the glass background by construction
+        lesioned = s.image[s.mask.astype(bool)]
+        if lesioned.size:
+            assert lesioned.mean() < 0.93
+
+
+class TestMorphologyInvariant:
+    """Organ classes differ in lesion *morphology*, not lesion *amount*."""
+
+    @pytest.mark.parametrize("seed", [0, 7])
+    def test_total_lesion_area_matched_across_organs(self, seed):
+        stats = _morphology(256, seed)
+        areas = [area for area, _, _ in stats]
+        # same tissue silhouette + same quantile threshold -> the area is
+        # matched essentially exactly; only the morphology differs
+        assert max(areas) - min(areas) <= 2.0
+        assert min(areas) > 0
+
+    @pytest.mark.parametrize("seed", [0, 7])
+    def test_scale_ordering_follows_organ_ladder(self, seed):
+        stats = _morphology(256, seed)
+        counts = [n for _, n, _ in stats]
+        mean_sizes = [m for _, _, m in stats]
+        # organ 0 grows a few large lesions, organ 5 many tiny specks
+        assert counts == sorted(counts), \
+            f"component count must be monotone in the organ index: {counts}"
+        assert counts[-1] >= 3 * max(counts[0], 1)
+        assert mean_sizes == sorted(mean_sizes, reverse=True), \
+            f"mean lesion size must shrink with the organ index: {mean_sizes}"
+        assert mean_sizes[0] >= 3 * mean_sizes[-1]

@@ -1,0 +1,71 @@
+"""Tests for process-memory tracking (RSS probes + traced-allocation peaks)."""
+
+import tracemalloc
+
+import numpy as np
+
+from repro.perf import TracedMemory, current_rss_bytes, peak_rss_bytes
+
+
+class TestRSSProbes:
+    def test_current_rss_positive_on_linux(self):
+        rss = current_rss_bytes()
+        assert rss is None or rss > 0
+
+    def test_peak_rss_at_least_current(self):
+        peak = peak_rss_bytes()
+        cur = current_rss_bytes()
+        assert peak is None or peak > 0
+        if peak is not None and cur is not None:
+            assert peak >= cur // 2      # same order; peak is lifetime max
+
+
+class TestTracedMemory:
+    def test_sees_numpy_allocations(self):
+        with TracedMemory() as mem:
+            a = np.zeros((1024, 1024))   # 8 MiB
+            mem.update()
+            del a
+        assert mem.peak_bytes >= 8 * 1024 * 1024
+        assert not tracemalloc.is_tracing()
+
+    def test_peak_survives_frees(self):
+        with TracedMemory() as mem:
+            for _ in range(3):
+                a = np.zeros(1_000_000)  # 8 MB alive only inside the loop
+                del a
+        assert mem.peak_bytes >= 8_000_000
+        # peak is per-instant, not cumulative: three sequential 8 MB
+        # allocations never coexist
+        assert mem.peak_bytes < 16_000_000
+
+    def test_nested_scopes_measure_their_own_region(self):
+        with TracedMemory() as outer:
+            big = np.zeros(2_000_000)    # 16 MB held by the outer scope
+            with TracedMemory() as inner:
+                small = np.zeros(125_000)  # 1 MB
+                del small
+            del big
+        assert tracemalloc.is_tracing() is False
+        assert inner.peak_bytes >= 1_000_000
+        assert inner.peak_bytes < 8_000_000     # excludes the outer 16 MB
+        assert outer.peak_bytes >= 16_000_000
+
+    def test_inner_scope_does_not_erase_outer_peak(self):
+        with TracedMemory() as outer:
+            transient = np.zeros(4_000_000)   # 32 MB, freed before inner
+            del transient
+            with TracedMemory() as inner:     # resets the global peak
+                small = np.zeros(125_000)     # 1 MB
+                del small
+        # the pre-inner transient must survive the inner scope's reset
+        assert outer.peak_bytes >= 32_000_000
+        assert inner.peak_bytes < 8_000_000
+
+    def test_exception_still_stops_tracing(self):
+        try:
+            with TracedMemory():
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert not tracemalloc.is_tracing()

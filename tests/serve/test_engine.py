@@ -408,3 +408,48 @@ class TestThreadedEngine:
         assert all(r is not None and r.shape == (1, 64, 64) for r in results)
         assert engine.stats()["engine"]["completed"] + \
             engine.stats()["engine"].get("cache_hits", 0) == len(imgs)
+
+
+class TestObservabilityGauges:
+    """ISSUE 5 satellite: result-cache hit rate + peak queue depth in stats()."""
+
+    def test_peak_queue_depth_tracks_high_water_mark(self):
+        engine, _ = _sim_engine(_predictor(_model()), result_cache_items=0)
+        for im in _images(5):
+            engine.submit(im)
+        assert engine.stats()["queue"]["peak_depth"] == 5
+        engine.drain()
+        stats = engine.stats()
+        assert stats["queue"]["total"] == 0
+        assert stats["queue"]["peak_depth"] == 5     # peak survives the drain
+        assert stats["engine"]["queue_depth"]["value"] == 0
+
+    def test_result_cache_hit_rate(self):
+        engine, _ = _sim_engine(_predictor(_model()), result_cache_items=8)
+        img = _images(1)[0]
+        engine.submit(img)
+        engine.drain()
+        engine.submit(img)                           # served from the cache
+        engine.drain()
+        stats = engine.stats()
+        assert stats["result_cache"]["hits"] == 1
+        assert stats["result_cache"]["hit_rate"] == pytest.approx(0.5)
+
+    def test_hit_rate_zero_without_traffic(self):
+        engine, _ = _sim_engine(_predictor(_model()))
+        assert engine.stats()["result_cache"]["hit_rate"] == 0.0
+
+    def test_is_running_reflects_thread_liveness(self):
+        engine = InferenceEngine(_predictor(_model()))
+        assert not engine.is_running
+        engine.start(warmup=False)
+        assert engine.is_running
+        engine.stop()
+        assert not engine.is_running
+        # a crashed batcher must read as not-running, not merely started
+        dead = threading.Thread(target=lambda: None)
+        dead.start()
+        dead.join()
+        engine._thread = dead
+        assert not engine.is_running
+        engine._thread = None

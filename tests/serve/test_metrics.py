@@ -106,3 +106,38 @@ class TestRegistry:
             t.join()
         assert reg.counter("total").value == n * threads
         assert reg.histogram("lat").count == n * threads
+
+
+class TestGauge:
+    def test_value_and_peak(self):
+        from repro.serve import Gauge
+        g = Gauge("depth")
+        assert g.value == 0 and g.peak == 0
+        g.set(5)
+        g.set(2)
+        assert g.value == 2
+        assert g.peak == 5
+        assert g.summary() == {"value": 2, "peak": 5}
+
+    def test_registry_integration(self):
+        reg = MetricsRegistry()
+        assert reg.gauge("depth") is reg.gauge("depth")
+        reg.gauge("depth").set(7)
+        reg.gauge("depth").set(3)
+        snap = reg.snapshot()
+        assert snap["depth"] == {"value": 3, "peak": 7}
+        assert "depth" in reg.names()
+
+    def test_concurrent_sets_keep_true_peak(self):
+        g = MetricsRegistry().gauge("depth")
+
+        def work(k):
+            for i in range(300):
+                g.set(k * 1000 + i)
+
+        ts = [threading.Thread(target=work, args=(k,)) for k in range(4)]
+        for t in ts:
+            t.start()
+        for t in ts:
+            t.join()
+        assert g.peak == 3299

@@ -1,0 +1,101 @@
+"""Tests for the streaming planner: quadtree alignment, Morton scheduling,
+exact partitioning, Z-slabs, and the working-set memory model."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.quadtree.morton import morton_encode
+from repro.stream import plan_scene, plan_volume
+
+
+class TestScenePlanning:
+    def test_partition_is_exact(self):
+        plan = plan_scene((256, 128, 3), tile=64)
+        assert len(plan.tiles) == (256 // 64) * (128 // 64)
+        covered = np.zeros((256, 128), dtype=int)
+        for t in plan.tiles:
+            covered[t.slices()] += 1
+        np.testing.assert_array_equal(covered, 1)
+
+    def test_quadtree_alignment(self):
+        plan = plan_scene((256, 256), tile=64)
+        for t in plan.tiles:
+            assert t.origin[0] % 64 == 0 and t.origin[1] % 64 == 0
+            assert t.size == (64, 64)
+
+    def test_morton_schedule(self):
+        plan = plan_scene((256, 256), tile=64, order="morton")
+        codes = [int(morton_encode(t.origin[0] // 64, t.origin[1] // 64)[0])
+                 for t in plan.tiles]
+        assert codes == sorted(codes)
+        assert plan.tiles[0].origin == (0, 0)
+
+    def test_rowmajor_schedule(self):
+        plan = plan_scene((128, 128), tile=64, order="rowmajor")
+        assert [t.origin for t in plan.tiles] == \
+            [(0, 0), (0, 64), (64, 0), (64, 64)]
+
+    def test_indices_follow_schedule(self):
+        plan = plan_scene((256, 256), tile=32)
+        assert [t.index for t in plan.tiles] == list(range(len(plan.tiles)))
+
+    def test_names_are_origin_derived(self):
+        morton = plan_scene((128, 128), tile=64, order="morton")
+        row = plan_scene((128, 128), tile=64, order="rowmajor")
+        assert {t.name for t in morton.tiles} == {t.name for t in row.tiles}
+
+    def test_working_set_scales_with_tile_area(self):
+        small = plan_scene((1024, 1024, 3), tile=128, max_len=512)
+        big = plan_scene((1024, 1024, 3), tile=256, max_len=512)
+        assert small.working_set_bytes() > 0
+        ratio = (big.working_set["input"] / small.working_set["input"])
+        assert ratio == 4.0
+        assert big.scene_bytes == small.scene_bytes == 1024 * 1024 * 3 * 8
+
+    def test_working_set_is_a_tiny_fraction_of_scene(self):
+        plan = plan_scene((16384, 16384, 3), tile=1024, max_len=1024)
+        assert plan.working_set_bytes() < 0.05 * plan.scene_bytes
+
+    def test_describe_is_json_serializable(self):
+        plan = plan_scene((128, 128), tile=32, max_len=256)
+        text = json.dumps(plan.describe())
+        assert "working_set_bytes" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            plan_scene((128, 128), tile=48)      # not a power of two
+        with pytest.raises(ValueError):
+            plan_scene((100, 128), tile=32)      # tile does not divide H
+        with pytest.raises(ValueError):
+            plan_scene((128, 128), tile=32, order="spiral")
+        with pytest.raises(ValueError):
+            plan_scene((128,), tile=32)          # 1-D shape
+
+
+class TestVolumePlanning:
+    def test_ragged_last_slab(self):
+        plan = plan_volume((10, 32, 32), slab=4)
+        assert [(t.origin[0], t.size[0]) for t in plan.tiles] == \
+            [(0, 4), (4, 4), (8, 2)]
+        assert plan.kind == "volume"
+
+    def test_slab_partition_covers_every_slice(self):
+        plan = plan_volume((7, 16, 16), slab=3)
+        covered = np.zeros(7, dtype=int)
+        for t in plan.tiles:
+            covered[t.slices()[0]] += 1
+        np.testing.assert_array_equal(covered, 1)
+
+    def test_working_set_estimate(self):
+        plan = plan_volume((64, 256, 256), slab=8, max_len=256)
+        assert 0 < plan.working_set_bytes() < plan.scene_bytes
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            plan_volume((10, 32, 32), slab=0)
+        with pytest.raises(ValueError):
+            plan_volume((10, 32, 32), slab=11)   # deeper than the volume
+        with pytest.raises(ValueError):
+            plan_volume((10, 32), slab=2)        # not a volume shape

@@ -1,0 +1,297 @@
+"""Tests for the bounded-memory streaming runner: bit-identity against the
+non-streamed paths, checkpoint/resume byte-identity, engine-mode overlap and
+backpressure, sinks, and validation."""
+
+import threading
+from concurrent.futures import Future
+
+import numpy as np
+import pytest
+
+from repro.models.vit import ViTSegmenter
+from repro.pipeline import PatchPipeline
+from repro.serve import EngineOverloaded, InferenceEngine, Predictor
+from repro.serve.predictor import class_map
+from repro.stream import (ArraySource, MemorySink, NpyDirectorySink,
+                          StreamingRunner, VirtualWSISource, plan_scene,
+                          plan_volume)
+
+RES, TILE = 128, 32
+
+
+def _model():
+    return ViTSegmenter(patch_size=4, channels=1, dim=16, depth=1, heads=2,
+                        max_len=256, rng=np.random.default_rng(1)).eval()
+
+
+def _predictor(model=None):
+    pipe = PatchPipeline(patch_size=4, split_value=8.0, channels=1,
+                         cache_items=32)
+    return Predictor(model if model is not None else _model(), pipe,
+                     max_batch=3, bucket=16)
+
+
+def _wsi(**kw):
+    args = dict(seed=5, organ=2, tile=TILE)
+    args.update(kw)
+    return VirtualWSISource(RES, **args)
+
+
+def _plan():
+    return plan_scene((RES, RES, 3), tile=TILE, max_len=256)
+
+
+class _InterruptedSink:
+    """Forwards to a real sink, then dies after ``n`` writes (kill -9 stand-in)."""
+
+    def __init__(self, inner, n):
+        self.inner = inner
+        self.left = n
+
+    def completed(self, plan):
+        return self.inner.completed(plan)
+
+    def write(self, tile, arr):
+        if self.left == 0:
+            raise KeyboardInterrupt("killed mid-run")
+        self.inner.write(tile, arr)
+        self.left -= 1
+
+
+class TestPredictorMode:
+    def test_bit_identical_to_per_tile_predict_image(self):
+        src, plan = _wsi(), _plan()
+        sink = MemorySink()
+        report = StreamingRunner(_predictor()).run(src, plan, sink)
+        assert report.tiles_run == len(plan.tiles)
+        assert report.peak_inflight == 1
+        reference = _predictor()          # fresh predictor, fresh caches
+        for tile in plan.tiles:
+            region = src.read_region(tile.origin, tile.size)
+            expected = class_map(reference.predict_image(region))
+            np.testing.assert_array_equal(sink.read(tile), expected)
+
+    def test_report_accounting(self):
+        src, plan = _wsi(), _plan()
+        report = StreamingRunner(_predictor(), track_memory=True).run(
+            src, plan, MemorySink())
+        assert report.bytes_read == RES * RES * 3 * 8
+        assert report.working_set_bytes == plan.working_set_bytes()
+        assert report.scene_bytes == plan.scene_bytes
+        assert report.peak_traced_bytes is not None
+        # bounded by the planner's per-tile model, not by the scene (the
+        # scene-dominance claim only bites at gigapixel scale — the bench
+        # gates it there)
+        assert 0 < report.peak_traced_bytes < 4 * plan.working_set_bytes()
+        assert report.seconds > 0
+
+    def test_memory_and_directory_sinks_agree(self, tmp_path):
+        src, plan = _wsi(), _plan()
+        model = _model()
+        mem, disk = MemorySink(), NpyDirectorySink(tmp_path, dtype=np.uint8)
+        StreamingRunner(_predictor(model)).run(src, plan, mem)
+        StreamingRunner(_predictor(model)).run(src, plan, disk)
+        np.testing.assert_array_equal(mem.assemble(plan), disk.assemble(plan))
+        import json
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        assert manifest["digest"] == disk.digest(plan)
+        assert len(manifest["tiles"]) == len(plan.tiles)
+
+    def test_lossy_dtype_write_rejected(self, tmp_path):
+        sink = NpyDirectorySink(tmp_path, dtype=np.uint8)
+        plan = _plan()
+        with pytest.raises(ValueError):
+            sink.write(plan.tiles[0], np.full((TILE, TILE), 300))
+
+
+class TestCheckpointResume:
+    def test_killed_run_resumes_byte_identical(self, tmp_path):
+        src, plan = _wsi(), _plan()
+        model = _model()
+        straight = NpyDirectorySink(tmp_path / "straight")
+        StreamingRunner(_predictor(model)).run(src, plan, straight)
+
+        resumed = NpyDirectorySink(tmp_path / "resumed")
+        with pytest.raises(KeyboardInterrupt):
+            StreamingRunner(_predictor(model)).run(
+                src, plan, _InterruptedSink(resumed, 5))
+        assert len(resumed.completed(plan)) == 5
+        report = StreamingRunner(_predictor(model)).run(src, plan, resumed)
+        assert report.tiles_skipped == 5
+        assert report.tiles_run == len(plan.tiles) - 5
+        assert resumed.digest(plan) == straight.digest(plan)
+        for tile in plan.tiles:       # byte-level, not just value-level
+            a = (tmp_path / "straight" / f"{tile.name}.npy").read_bytes()
+            b = (tmp_path / "resumed" / f"{tile.name}.npy").read_bytes()
+            assert a == b
+
+    def test_resume_false_discards_prior_tiles(self, tmp_path):
+        src, plan = _wsi(), _plan()
+        sink = NpyDirectorySink(tmp_path)
+        runner = StreamingRunner(_predictor())
+        runner.run(src, plan, sink)
+        report = runner.run(src, plan, sink, resume=False)
+        assert report.tiles_skipped == 0
+        assert report.tiles_run == len(plan.tiles)
+
+    def test_stale_artifacts_are_recomputed_not_trusted(self, tmp_path):
+        src, plan = _wsi(), _plan()
+        sink = NpyDirectorySink(tmp_path)
+        # stale leftovers: wrong shape under a valid name, plus an orphaned
+        # temp file from a hypothetical hard kill mid-write
+        np.save(tmp_path / f"{plan.tiles[0].name}.npy",
+                np.zeros((TILE // 2, TILE // 2), dtype=np.int64))
+        (tmp_path / f"{plan.tiles[1].name}.12345.tmp").write_bytes(b"junk")
+        assert sink.completed(plan) == set()
+        assert not list(tmp_path.glob("*.tmp"))      # swept
+        report = StreamingRunner(_predictor()).run(src, plan, sink)
+        assert report.tiles_run == len(plan.tiles)   # stale tile recomputed
+        assert sink.read(plan.tiles[0]).shape == (TILE, TILE)
+
+    def test_wrong_dtype_artifact_not_trusted(self, tmp_path):
+        plan = _plan()
+        sink = NpyDirectorySink(tmp_path, dtype=np.uint8)
+        np.save(tmp_path / f"{plan.tiles[0].name}.npy",
+                np.zeros((TILE, TILE), dtype=np.int64))
+        assert sink.completed(plan) == set()
+
+    def test_completed_run_resumes_as_noop(self, tmp_path):
+        src, plan = _wsi(), _plan()
+        sink = NpyDirectorySink(tmp_path)
+        runner = StreamingRunner(_predictor())
+        runner.run(src, plan, sink)
+        report = runner.run(src, plan, sink)
+        assert report.tiles_run == 0
+        assert report.tiles_skipped == len(plan.tiles)
+
+
+class TestEngineMode:
+    def test_matches_predictor_mode_class_maps(self):
+        src, plan = _wsi(), _plan()
+        model = _model()
+        serial = MemorySink()
+        StreamingRunner(_predictor(model)).run(src, plan, serial)
+        engine = InferenceEngine(_predictor(model), result_cache_items=0)
+        overlapped = MemorySink()
+        report = StreamingRunner(engine=engine, max_inflight=3).run(
+            src, plan, overlapped)
+        assert 1 < report.peak_inflight <= 3
+        np.testing.assert_array_equal(overlapped.assemble(plan),
+                                      serial.assemble(plan))
+
+    def test_backpressure_retires_inflight_work(self):
+        src, plan = _wsi(), _plan()
+        engine = InferenceEngine(_predictor(), max_queue=1,
+                                 result_cache_items=0)
+        sink = MemorySink()
+        report = StreamingRunner(engine=engine, max_inflight=4).run(
+            src, plan, sink)
+        assert report.backpressure_waits > 0
+        assert report.tiles_run == len(plan.tiles)
+        assert engine.stats()["queue"]["peak_depth"] == 1
+
+    def test_threaded_engine_streams(self):
+        src, plan = _wsi(), _plan()
+        engine = InferenceEngine(_predictor(), flush_deadline=0.001,
+                                 result_cache_items=0)
+        engine.start(warmup=False)
+        try:
+            report = StreamingRunner(engine=engine, max_inflight=2).run(
+                src, plan, MemorySink())
+        finally:
+            engine.stop()
+        assert report.tiles_run == len(plan.tiles)
+
+    def test_oversized_volume_request_surfaces_overload(self):
+        vol = np.random.default_rng(0).random((6, 32, 32))
+        engine = InferenceEngine(_predictor(), max_queue=2,
+                                 result_cache_items=0)
+        runner = StreamingRunner(engine=engine)
+        plan = plan_volume(vol.shape, slab=6)    # one slab > queue capacity
+        with pytest.raises(EngineOverloaded):
+            runner.run(ArraySource(vol, kind="volume"), plan, MemorySink())
+
+    def test_resolve_surfaces_a_stopped_engine_instead_of_hanging(self):
+        # a future the batcher will never resolve must not deadlock the run
+        engine = InferenceEngine(_predictor(), result_cache_items=0)
+        engine.start(warmup=False)
+        runner = StreamingRunner(engine=engine, max_inflight=1)
+        orphan = Future()
+        stopper = threading.Timer(0.3, engine.stop)
+        stopper.start()
+        try:
+            with pytest.raises(RuntimeError, match="still\\s+pending"):
+                runner._resolve(orphan)
+        finally:
+            stopper.join()
+
+    def test_oversized_request_raises_on_started_engine_too(self):
+        # a threaded engine must raise, not sleep-retry forever
+        vol = np.random.default_rng(0).random((6, 32, 32))
+        engine = InferenceEngine(_predictor(), max_queue=2,
+                                 result_cache_items=0)
+        engine.start(warmup=False)
+        try:
+            assert engine.is_running
+            with pytest.raises(EngineOverloaded):
+                StreamingRunner(engine=engine).run(
+                    ArraySource(vol, kind="volume"),
+                    plan_volume(vol.shape, slab=6), MemorySink())
+        finally:
+            engine.stop()
+        assert not engine.is_running
+
+
+class TestVolumeStreaming:
+    def test_slab_streaming_matches_per_slab_reference(self):
+        vol = np.clip(np.random.default_rng(3).random((7, 32, 32)), 0, 1)
+        plan = plan_volume(vol.shape, slab=3)
+        model = _model()
+        sink = MemorySink()
+        StreamingRunner(_predictor(model)).run(
+            ArraySource(vol, kind="volume"), plan, sink)
+        reference = _predictor(model)
+        for tile in plan.tiles:
+            z0, d = tile.origin[0], tile.size[0]
+            expected = np.stack(reference.predict_class_slices(
+                [vol[i] for i in range(z0, z0 + d)]))
+            np.testing.assert_array_equal(sink.read(tile), expected)
+
+    def test_engine_volume_mode(self):
+        vol = np.clip(np.random.default_rng(4).random((6, 32, 32)), 0, 1)
+        plan = plan_volume(vol.shape, slab=3)
+        model = _model()
+        serial = MemorySink()
+        StreamingRunner(_predictor(model)).run(
+            ArraySource(vol, kind="volume"), plan, serial)
+        engine = InferenceEngine(_predictor(model), result_cache_items=0)
+        overlapped = MemorySink()
+        StreamingRunner(engine=engine, max_inflight=2).run(
+            ArraySource(vol, kind="volume"), plan, overlapped)
+        np.testing.assert_array_equal(overlapped.assemble(plan),
+                                      serial.assemble(plan))
+
+
+class TestValidation:
+    def test_exactly_one_driver(self):
+        with pytest.raises(ValueError):
+            StreamingRunner()
+        with pytest.raises(ValueError):
+            StreamingRunner(_predictor(), engine=object())
+        with pytest.raises(ValueError):
+            StreamingRunner(_predictor(), max_inflight=0)
+
+    def test_kind_and_shape_mismatches(self):
+        runner = StreamingRunner(_predictor())
+        image_plan = _plan()
+        vol = np.zeros((4, 32, 32))
+        with pytest.raises(ValueError):
+            runner.run(ArraySource(vol, kind="volume"), image_plan,
+                       MemorySink())
+        with pytest.raises(ValueError):
+            runner.run(_wsi(), plan_scene((64, 64, 3), tile=TILE),
+                       MemorySink())
+        # volume plans must match in-plane dims too, not just slice count
+        with pytest.raises(ValueError):
+            runner.run(ArraySource(np.zeros((4, 64, 64)), kind="volume"),
+                       plan_volume((4, 32, 32), slab=2), MemorySink())

@@ -1,0 +1,120 @@
+"""Tests for tiled scene sources: the array adapter and the procedural
+virtual WSI (determinism, assembly, masks, validation, caching)."""
+
+import numpy as np
+import pytest
+
+from repro.stream import ArraySource, VirtualWSISource
+
+
+class TestArraySource:
+    def test_image_kind_inferred(self):
+        assert ArraySource(np.zeros((8, 8))).kind == "image"
+        assert ArraySource(np.zeros((8, 8, 3))).kind == "image"
+        assert ArraySource(np.zeros((8, 8, 1))).kind == "image"
+
+    def test_volume_kind_inferred(self):
+        assert ArraySource(np.zeros((6, 32, 32))).kind == "volume"
+
+    def test_explicit_kind_wins(self):
+        src = ArraySource(np.zeros((6, 32, 32)), kind="volume")
+        assert src.kind == "volume"
+
+    def test_read_region_matches_slicing(self):
+        rng = np.random.default_rng(0)
+        arr = rng.random((16, 24, 3))
+        src = ArraySource(arr)
+        np.testing.assert_array_equal(src.read_region((4, 8), (8, 16)),
+                                      arr[4:12, 8:24])
+
+    def test_volume_slab_read(self):
+        vol = np.arange(5 * 4 * 4, dtype=float).reshape(5, 4, 4)
+        src = ArraySource(vol, kind="volume")
+        np.testing.assert_array_equal(src.read_region((2,), (2,)), vol[2:4])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ArraySource(np.zeros(4))                       # 1-D scene
+        with pytest.raises(ValueError):
+            ArraySource(np.zeros((8, 8)), kind="volume")   # 2-D volume
+        with pytest.raises(ValueError):
+            ArraySource(np.zeros((8, 8)), kind="plenoptic")
+        src = ArraySource(np.zeros((8, 8)))
+        with pytest.raises(ValueError):
+            src.read_region((4, 4), (8, 8))                # out of bounds
+        with pytest.raises(ValueError):
+            src.read_region((0, 0), (0, 4))                # empty region
+        with pytest.raises(ValueError):
+            src.read_region((0,), (4,))                    # wrong arity
+
+
+class TestVirtualWSI:
+    def test_deterministic_across_instances(self):
+        a = VirtualWSISource(128, seed=3, organ=1, tile=32)
+        b = VirtualWSISource(128, seed=3, organ=1, tile=32)
+        np.testing.assert_array_equal(a.read_region((32, 64), (32, 32)),
+                                      b.read_region((32, 64), (32, 32)))
+
+    def test_deterministic_across_access_order(self):
+        a = VirtualWSISource(128, seed=3, organ=1, tile=32, cache_tiles=1)
+        b = VirtualWSISource(128, seed=3, organ=1, tile=32, cache_tiles=1)
+        first = a.read_region((0, 0), (32, 32))
+        a.read_region((96, 96), (32, 32))        # evicts (0, 0) from cache
+        b.read_region((96, 96), (32, 32))        # other instance, other order
+        np.testing.assert_array_equal(first, a.read_region((0, 0), (32, 32)))
+        np.testing.assert_array_equal(first, b.read_region((0, 0), (32, 32)))
+
+    def test_seeds_and_organs_differ(self):
+        base = VirtualWSISource(128, seed=0, organ=0, tile=32)
+        other_seed = VirtualWSISource(128, seed=1, organ=0, tile=32)
+        other_organ = VirtualWSISource(128, seed=0, organ=5, tile=32)
+        t = ((0, 0), (32, 32))
+        assert not np.array_equal(base.read_region(*t),
+                                  other_seed.read_region(*t))
+        assert not np.array_equal(base.read_region(*t),
+                                  other_organ.read_region(*t))
+
+    def test_unaligned_read_assembles_tiles(self):
+        src = VirtualWSISource(128, seed=7, organ=2, tile=32)
+        ref = VirtualWSISource(128, seed=7, organ=2, tile=32, cache_tiles=16)
+        full = np.concatenate(
+            [np.concatenate([ref.read_region((ty * 32, tx * 32), (32, 32))
+                             for tx in range(4)], axis=1)
+             for ty in range(4)], axis=0)
+        region = src.read_region((16, 24), (96, 80))
+        np.testing.assert_array_equal(region, full[16:112, 24:104])
+
+    def test_image_and_mask_agree(self):
+        src = VirtualWSISource(64, seed=2, organ=4, tile=32)
+        sample = src.tile_sample(1, 0)
+        assert sample.image.shape == (32, 32, 3)
+        assert sample.mask.shape == (32, 32)
+        assert sample.organ == 4
+        assert set(np.unique(sample.mask)).issubset({0.0, 1.0})
+        np.testing.assert_array_equal(
+            sample.mask, src.read_mask_region((32, 0), (32, 32)))
+        assert 0.0 <= sample.image.min() and sample.image.max() <= 1.0
+
+    def test_organ_drawn_deterministically_when_none(self):
+        a = VirtualWSISource(128, seed=11, tile=32)
+        b = VirtualWSISource(128, seed=11, tile=32)
+        assert a.organ == b.organ
+        assert 0 <= a.organ < 6
+
+    def test_aligned_reads_are_frozen(self):
+        src = VirtualWSISource(64, seed=0, organ=0, tile=32)
+        tile = src.read_region((0, 0), (32, 32))
+        assert not tile.flags.writeable
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VirtualWSISource(128, tile=48)            # not a power of two
+        with pytest.raises(ValueError):
+            VirtualWSISource(100, tile=32)            # not a multiple
+        with pytest.raises(ValueError):
+            VirtualWSISource(128, tile=32, organ=6)   # organ out of range
+        with pytest.raises(ValueError):
+            VirtualWSISource(128, tile=32, cache_tiles=0)
+        src = VirtualWSISource(128, tile=32)
+        with pytest.raises(ValueError):
+            src.read_region((0, 0), (256, 256))       # beyond the slide
