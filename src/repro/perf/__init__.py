@@ -10,7 +10,8 @@ from .flops import (TransformerConfig, activation_bytes, attention_flops,
                     attention_memory_bytes, encoder_flops, training_flops)
 from .memory import TracedMemory, current_rss_bytes, peak_rss_bytes
 from .serving import (batching_speedup_bound, engine_capacity,
-                      serial_capacity, utilization)
+                      fleet_capacity, fleet_scaling_bound, replicas_for_rate,
+                      routing_imbalance, serial_capacity, utilization)
 
 __all__ = [
     "TransformerConfig", "attention_flops", "encoder_flops", "training_flops",
@@ -19,6 +20,7 @@ __all__ = [
     "apf_length_curve", "equal_cost_patch_size", "equivalent_sequence_gain",
     "write_json_atomic",
     "engine_capacity", "serial_capacity", "batching_speedup_bound",
-    "utilization",
+    "utilization", "fleet_capacity", "fleet_scaling_bound",
+    "replicas_for_rate", "routing_imbalance",
     "TracedMemory", "current_rss_bytes", "peak_rss_bytes",
 ]

@@ -13,8 +13,12 @@ numbers so the JSON is self-interpreting.
 
 from __future__ import annotations
 
+import math
+from typing import Sequence
+
 __all__ = ["engine_capacity", "serial_capacity", "batching_speedup_bound",
-           "utilization"]
+           "utilization", "fleet_capacity", "replicas_for_rate",
+           "routing_imbalance", "fleet_scaling_bound"]
 
 
 def engine_capacity(service_model, max_batch: int, length: int) -> float:
@@ -44,3 +48,63 @@ def utilization(offered_rate: float, capacity: float) -> float:
     if offered_rate < 0 or capacity <= 0:
         raise ValueError("need offered_rate >= 0 and capacity > 0")
     return offered_rate / capacity
+
+
+# -- fleet (N replicas behind the router) -----------------------------------
+
+def fleet_capacity(service_model, max_batch: int, length: int,
+                   replicas: int) -> float:
+    """Saturated throughput of ``replicas`` independent batch servers.
+
+    Replicas share nothing on the hot path (each owns its Predictor and
+    queue), so fleet capacity is linear in the replica count; what eats
+    the linearity in practice is routing *imbalance* — digest-affinity
+    hashing shards keys near-evenly but not exactly, and the busiest
+    replica sets the makespan. :func:`routing_imbalance` quantifies that
+    gap from observed per-replica request counts.
+    """
+    if replicas < 1:
+        raise ValueError("replicas must be >= 1")
+    return replicas * engine_capacity(service_model, max_batch, length)
+
+
+def routing_imbalance(per_replica_counts: Sequence[int]) -> float:
+    """Busiest replica's load relative to perfect balance (>= 1.0).
+
+    ``max(counts) / mean(counts)`` — 1.0 is a perfectly even shard; the
+    achievable fleet speedup over one replica is roughly
+    ``replicas / imbalance`` (the busiest replica is the critical path).
+    """
+    counts = list(per_replica_counts)
+    if not counts or any(c < 0 for c in counts):
+        raise ValueError("need non-negative per-replica counts")
+    total = sum(counts)
+    if total == 0:
+        return 1.0
+    return max(counts) * len(counts) / total
+
+
+def fleet_scaling_bound(replicas: int,
+                        per_replica_counts: Sequence[int]) -> float:
+    """Upper bound on the N-replica/1-replica throughput ratio given the
+    observed shard balance: ``replicas / routing_imbalance(counts)``."""
+    if replicas < 1:
+        raise ValueError("replicas must be >= 1")
+    return replicas / routing_imbalance(per_replica_counts)
+
+
+def replicas_for_rate(offered_rate: float, service_model, max_batch: int,
+                      length: int, *, headroom: float = 0.7) -> int:
+    """Smallest fleet size keeping utilization at or below ``headroom``.
+
+    The capacity-planning inverse: how many replicas does an offered load
+    need so each runs at no more than ``headroom`` of its saturated
+    throughput (tail latency explodes as utilization -> 1, so plan with
+    slack).
+    """
+    if offered_rate < 0:
+        raise ValueError("offered_rate must be >= 0")
+    if not 0 < headroom <= 1:
+        raise ValueError("headroom must be in (0, 1]")
+    per_replica = engine_capacity(service_model, max_batch, length) * headroom
+    return max(1, math.ceil(offered_rate / per_replica))

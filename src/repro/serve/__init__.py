@@ -11,14 +11,24 @@ Two layers:
   result caching, admission control (:class:`EngineOverloaded`), and a
   metrics registry. :mod:`.loadgen` drives it deterministically under a
   simulated clock for CI-stable load tests.
+* :class:`FleetRouter` — digest-affinity sharding over N engine replicas
+  (:mod:`.router`, assembled by :func:`build_fleet`): rendezvous-hashed
+  cache affinity, replica health/drain/kill with re-hash spill, and
+  fleet-wide admission control. :func:`run_fleet_load` extends the DES to
+  fleet topology (per-replica service models, routing delay, virtual-time
+  replica-kill fault injection).
 """
 
 from .engine import BatchReport, EngineConfig, InferenceEngine
-from .loadgen import (Arrival, ServiceModel, SimClock, merge_traces,
-                      poisson_trace, run_load, serial_baseline)
+from .fleet import FleetConfig, build_fleet
+from .loadgen import (Arrival, ReplicaDrain, ReplicaKill, ServiceModel,
+                      SimClock, merge_traces, poisson_trace, run_fleet_load,
+                      run_load, serial_baseline)
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .predictor import Predictor, predict_image
 from .queueing import EngineOverloaded, FairQueue, Request
+from .router import (REPLICA_DOWN, REPLICA_DRAINING, REPLICA_UP, FleetRouter,
+                     Replica, rendezvous_order)
 from .stitch import stitch_image, stitch_volume
 
 __all__ = [
@@ -28,4 +38,7 @@ __all__ = [
     "Counter", "Gauge", "Histogram", "MetricsRegistry",
     "Arrival", "SimClock", "ServiceModel", "poisson_trace", "merge_traces",
     "run_load", "serial_baseline",
+    "FleetRouter", "Replica", "rendezvous_order", "FleetConfig",
+    "build_fleet", "ReplicaKill", "ReplicaDrain", "run_fleet_load",
+    "REPLICA_UP", "REPLICA_DRAINING", "REPLICA_DOWN",
 ]

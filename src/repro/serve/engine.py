@@ -403,6 +403,61 @@ class InferenceEngine:
             return self._queue.next_flush_at(now, self.config.max_batch,
                                              self.config.flush_deadline)
 
+    # -- fleet membership --------------------------------------------------
+    def evict_pending(self):
+        """Remove every waiting (not yet dispatched) request for re-routing.
+
+        Returns ``(requests, chains)`` where ``chains`` maps ``id(request)``
+        to the collapsed twin futures riding on it. Reservations in the
+        in-flight table are torn down; the futures stay *unresolved* — the
+        fleet router hands both to a surviving replica's :meth:`adopt`, so
+        clients of a killed replica never observe the failure. Batches
+        already dispatched are unaffected (fail-stop between batches).
+        """
+        with self._cond:
+            reqs = self._queue.pop_all()
+            chains = {id(r): self._collapsed.pop(id(r), []) for r in reqs}
+            for r in reqs:
+                if r.key is not None and self._inflight.get(r.key) is r:
+                    del self._inflight[r.key]
+            self.metrics.inc("evicted", len(reqs))
+            self.metrics.gauge("queue_depth").set(len(self._queue))
+        return reqs, chains
+
+    def adopt(self, requests: Sequence[Request],
+              chains: Optional[Mapping[int, List]] = None) -> None:
+        """Enqueue already-preprocessed requests evicted from a peer replica.
+
+        Admission is atomic (all or :class:`EngineOverloaded`, like
+        :meth:`submit`); the foreign requests keep their original futures
+        and ``submit_t`` — latency accounting therefore *includes* the
+        disruption of the migration. Collapsed twin chains transfer with
+        their primary. In-flight reservations are re-registered here unless
+        this engine already has a primary for the same digest (the existing
+        one wins; both executions resolve their own futures and agree on
+        the cached value).
+        """
+        if not requests:
+            return
+        with self._cond:
+            self._queue.push_all(list(requests),
+                                 retry_after=self.retry_after_hint())
+            for r in requests:
+                if r.key is not None:
+                    self._inflight.setdefault(r.key, r)
+                chain = (chains or {}).get(id(r))
+                if chain:
+                    self._collapsed.setdefault(id(r), []).extend(chain)
+            self.metrics.inc("adopted", len(requests))
+            self.metrics.gauge("queue_depth").set(len(self._queue))
+            self._cond.notify_all()
+
+    @property
+    def pending(self) -> int:
+        """Waiting (undispatched) request count — the drain/health probe."""
+        with self._cond:
+            return len(self._queue)
+
     # -- threaded mode -----------------------------------------------------
     def warmup(self) -> dict:
         """Pre-compile plans for the configured bucket ladder (see

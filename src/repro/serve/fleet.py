@@ -1,0 +1,94 @@
+"""Fleet assembly — N engine replicas behind a :class:`FleetRouter`.
+
+:func:`build_fleet` is the one-call constructor the benchmarks, the demo,
+and the fleet DES all share: it stamps out ``replicas`` independent
+:class:`~repro.serve.engine.InferenceEngine` instances (each owning its
+own Predictor — plan caches and result caches are per-replica, which is
+the whole point of digest sharding), addresses them with a
+:class:`~repro.distributed.SimCluster` topology, and wires them into a
+router.
+
+Replicas may be *heterogeneous*: ``service_model`` accepts either one
+model shared by all replicas or a per-rank sequence (e.g. one slow
+straggler), which the deterministic fleet DES
+(:func:`~repro.serve.loadgen.run_fleet_load`) replays bit-exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from ..distributed import SimCluster
+from .engine import InferenceEngine
+from .router import FleetRouter
+
+__all__ = ["FleetConfig", "build_fleet"]
+
+
+@dataclass
+class FleetConfig:
+    """Fleet-level knobs (per-engine knobs ride in ``engine_opts``)."""
+
+    replicas: int = 2
+    #: Spill overloaded requests down the rendezvous order (fleet-wide
+    #: admission control) instead of strict-affinity rejection.
+    spill: bool = True
+    #: Virtual routing-hop delay applied by the fleet DES per submission.
+    route_seconds: float = 0.0
+
+
+def build_fleet(predictor_factory: Callable[[int], object],
+                config: Optional[FleetConfig] = None, *,
+                replicas: Optional[int] = None,
+                clock: Optional[Callable[[], float]] = None,
+                service_model=None,
+                cluster: Optional[SimCluster] = None,
+                **engine_opts) -> FleetRouter:
+    """Construct ``replicas`` engines over per-rank Predictors + a router.
+
+    Parameters
+    ----------
+    predictor_factory:
+        ``rank -> Predictor``. Called once per replica; each replica must
+        get its *own* Predictor (sharing the underlying model weights is
+        fine and normal — they are read-only at inference).
+    config / replicas:
+        A :class:`FleetConfig`, or just the replica count (other fields
+        default). ``replicas=`` overrides the config's count.
+    clock:
+        Shared time source for every replica (pass a
+        :class:`~repro.serve.loadgen.SimClock`'s ``now`` for the DES).
+        None -> each engine uses the real monotonic clock.
+    service_model:
+        One :class:`~repro.serve.loadgen.ServiceModel` shared by all
+        replicas, or a per-rank sequence of them (heterogeneous fleet),
+        or None for measured wall time.
+    cluster:
+        Replica addressing topology; defaults to ``SimCluster(replicas)``.
+    engine_opts:
+        Forwarded to every :class:`InferenceEngine` (``max_queue``,
+        ``flush_deadline``, ``result_cache_items``, ...).
+    """
+    cfg = config if config is not None else FleetConfig()
+    n = replicas if replicas is not None else cfg.replicas
+    if n < 1:
+        raise ValueError("need at least one replica")
+    if isinstance(service_model, Sequence):
+        if len(service_model) != n:
+            raise ValueError(f"got {len(service_model)} service models "
+                             f"for {n} replicas")
+        models = list(service_model)
+    else:
+        models = [service_model] * n
+    engines = []
+    for rank in range(n):
+        kwargs = dict(engine_opts)
+        if clock is not None:
+            kwargs["clock"] = clock
+        engines.append(InferenceEngine(predictor_factory(rank),
+                                       service_model=models[rank], **kwargs))
+    return FleetRouter(engines,
+                       cluster=cluster if cluster is not None
+                       else SimCluster(n),
+                       spill=cfg.spill, route_seconds=cfg.route_seconds)

@@ -34,7 +34,8 @@ import numpy as np
 from .queueing import EngineOverloaded
 
 __all__ = ["Arrival", "SimClock", "ServiceModel", "poisson_trace",
-           "merge_traces", "run_load", "serial_baseline"]
+           "merge_traces", "run_load", "serial_baseline",
+           "ReplicaKill", "ReplicaDrain", "run_fleet_load"]
 
 
 @dataclass(frozen=True)
@@ -202,6 +203,160 @@ def run_load(engine, trace: Sequence[Arrival], items: Sequence[np.ndarray],
         "latency_per_lane": {lane: eng[f"latency.{lane}"]
                              for lane in engine.config.lanes
                              if f"latency.{lane}" in eng},
+        "stats": snap,
+    }
+
+
+@dataclass(frozen=True)
+class ReplicaKill:
+    """Fault-injection event: fail-stop replica ``rank`` at virtual ``time``.
+
+    Results computed before ``time`` stand; the replica's waiting queue is
+    re-hashed onto the survivors (see :meth:`FleetRouter.kill`) with the
+    original futures and submit times intact — the disruption shows up as
+    latency, never as loss.
+    """
+
+    time: float
+    rank: int
+
+
+@dataclass(frozen=True)
+class ReplicaDrain:
+    """Lifecycle event: stop admitting to ``rank`` at virtual ``time``;
+    its queued work retires through the normal batcher path."""
+
+    time: float
+    rank: int
+
+
+def run_fleet_load(router, trace: Sequence[Arrival],
+                   items: Sequence[np.ndarray], clock: SimClock,
+                   events: Sequence = ()) -> Dict[str, object]:
+    """Replay an arrival trace through a :class:`FleetRouter` fleet.
+
+    The multi-server extension of :func:`run_load`: every replica engine
+    keeps its own virtual availability horizon, and the discrete-event
+    loop always dispatches the earliest-starting due batch across the
+    whole fleet (ties break by rank, so the schedule is deterministic).
+    All engines must share ``clock`` (``clock=clock.now``) and carry
+    :class:`ServiceModel`\\ s — heterogeneous per-replica models are fine;
+    :func:`~repro.serve.fleet.build_fleet` sets this up.
+
+    ``events`` interleaves :class:`ReplicaKill` / :class:`ReplicaDrain`
+    with the arrivals on the virtual timeline (events at an arrival's
+    exact time fire first, so a same-instant arrival already routes
+    around the dead replica). ``router.route_seconds`` models the routing
+    hop: each submission is stamped that much after its arrival.
+
+    Returns the :func:`run_load`-shaped report plus fleet extras:
+    per-replica breakdowns, rerouting/spill/drop counters, and the
+    fleet-wide merged latency histograms (bucket-wise sums — true fleet
+    percentiles, not averages of per-replica percentiles).
+    """
+    arrivals = sorted(trace, key=lambda a: (a.time, a.lane, a.item))
+    if not arrivals:
+        raise ValueError("empty trace")
+    t_begin = arrivals[0].time
+    free_at = {r.rank: clock.now() for r in router.replicas}
+    futures = []
+    rejected = 0
+    retry_hints: List[float] = []
+
+    def pump(limit: float) -> None:
+        """Dispatch every fleet batch that can start strictly before
+        ``limit``, earliest start first (rank breaks ties)."""
+        while True:
+            best = None
+            for replica in router.replicas:
+                if not replica.serving:
+                    continue
+                due = replica.engine.next_flush_at(
+                    max(free_at[replica.rank], clock.now()))
+                if due is None:
+                    continue
+                start_t = max(free_at[replica.rank], due)
+                if best is None or start_t < best[0]:
+                    best = (start_t, replica)
+            if best is None or best[0] >= limit:
+                return
+            start_t, replica = best
+            clock.set(start_t)
+            report = replica.engine.step(start_t)
+            if report is None:      # pragma: no cover - policy safety net
+                return
+            free_at[replica.rank] = start_t + report.cost
+
+    stream = sorted(
+        [(ev.time, 0, ev) for ev in events]
+        + [(a.time, 1, a) for a in arrivals],
+        key=lambda entry: entry[:2])
+    for _, tag, ev in stream:
+        if tag == 0:
+            pump(ev.time)
+            clock.set(ev.time)
+            if isinstance(ev, ReplicaKill):
+                router.kill(ev.rank)
+            elif isinstance(ev, ReplicaDrain):
+                router.drain(ev.rank)
+            else:
+                raise TypeError(f"unknown fleet event {ev!r}")
+            continue
+        # the routing hop delays *admission*: the request reaches its
+        # replica at arrival + hop, so everything the fleet can do
+        # strictly before that instant happens first — pumping only to
+        # ev.time would let a batch dispatch inside the hop window and
+        # scoop a request stamped after its own start (negative latency)
+        submit_at = ev.time + router.route_seconds
+        pump(submit_at)
+        clock.set(submit_at)
+        payload = items[ev.item]
+        try:
+            if ev.kind == "volume":
+                futures.append(router.submit_volume(payload, lane=ev.lane))
+            else:
+                futures.append(router.submit(payload, lane=ev.lane))
+        except EngineOverloaded as exc:
+            rejected += 1
+            retry_hints.append(exc.retry_after)
+    pump(float("inf"))
+    clock.set(max([clock.now()] + [free_at[r.rank] for r in router.replicas
+                                   if r.serving]))
+
+    unresolved = sum(1 for f in futures if not f.done())
+    if unresolved:
+        raise RuntimeError(f"{unresolved} accepted futures never resolved")
+    failed = sum(1 for f in futures if f.exception() is not None)
+    snap = router.stats()
+    fleet = snap["fleet"]
+    completed = (fleet.get("completed", 0) + fleet.get("cache_hits", 0)
+                 + fleet.get("collapsed", 0))
+    makespan = max(clock.now() - t_begin, 1e-12)
+    batches = fleet.get("batches", 0)
+    lane_names = sorted({lane for r in router.replicas
+                         for lane in r.engine.config.lanes})
+    return {
+        "offered": len(arrivals),
+        "accepted": len(futures),
+        "rejected_submissions": rejected,
+        "mean_retry_after": (float(np.mean(retry_hints))
+                             if retry_hints else 0.0),
+        "requests_completed": completed,
+        "failed": failed,
+        "makespan": makespan,
+        "throughput": completed / makespan,
+        "batches": batches,
+        "mean_batch_size": (fleet["batch_size"]["mean"] if batches else 0.0),
+        "latency": fleet.get("latency"),
+        "latency_per_lane": {lane: fleet[f"latency.{lane}"]
+                             for lane in lane_names
+                             if f"latency.{lane}" in fleet},
+        "rerouted": snap["router"].get("rerouted", 0),
+        "spilled": snap["router"].get("spilled", 0),
+        "kills": snap["router"].get("kills", 0),
+        "drains": snap["router"].get("drains", 0),
+        "cache_hit_rate": snap["result_cache"]["hit_rate"],
+        "per_replica": snap["replicas"],
         "stats": snap,
     }
 

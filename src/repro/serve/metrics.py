@@ -14,6 +14,12 @@ Everything is lock-protected: client threads record submissions while the
 batcher thread records completions. With the simulated clock
 (:mod:`.loadgen`) the same histograms accumulate *virtual* seconds, which
 keeps the CI gate on tail latency deterministic.
+
+Every metric is **mergeable**: counters add, gauges sum (peaks combine to
+a safe upper bound), and histograms with the same bucket grid add their
+bucket counts — so the fleet router publishes fleet-wide p50/p95/p99 by
+merging per-replica registries (:meth:`MetricsRegistry.merge`) without
+ever re-bucketing raw samples.
 """
 
 from __future__ import annotations
@@ -42,6 +48,10 @@ class Counter:
     @property
     def value(self) -> int:
         return self._value
+
+    def merge(self, other: "Counter") -> None:
+        """Fold another counter in (fleet aggregation: counts add)."""
+        self.inc(other.value)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Counter({self.name}={self._value})"
@@ -79,6 +89,15 @@ class Gauge:
         with self._lock:
             return {"value": self._value, "peak": self._peak}
 
+    def merge(self, other: "Gauge") -> None:
+        """Fold another gauge in: values sum (fleet queue depth is the sum
+        of replica depths); peaks also sum, which is an *upper bound* — the
+        replicas need not have peaked at the same instant."""
+        value, peak = other.value, other.peak
+        with self._lock:
+            self._value += value
+            self._peak += peak
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Gauge({self.name}={self._value}, peak={self._peak})"
 
@@ -112,6 +131,24 @@ class Histogram:
         self.min: Optional[float] = None
         self.max: Optional[float] = None
         self._lock = threading.Lock()
+
+    @classmethod
+    def like(cls, name: str, other: "Histogram") -> "Histogram":
+        """Empty histogram sharing ``other``'s exact bucket grid (so a
+        subsequent :meth:`merge` from ``other`` is always compatible)."""
+        h = cls.__new__(cls)
+        h.name = name
+        h._lo = other._lo
+        h._log_lo = other._log_lo
+        h._log_growth = other._log_growth
+        h._n_buckets = other._n_buckets
+        h._counts = [0] * other._n_buckets
+        h.count = 0
+        h.total = 0.0
+        h.min = None
+        h.max = None
+        h._lock = threading.Lock()
+        return h
 
     # -- recording --------------------------------------------------------
     def _bucket(self, x: float) -> int:
@@ -157,6 +194,39 @@ class Histogram:
                 seen += c
             return float(self.max)  # pragma: no cover - rank <= count
 
+    def compatible(self, other: "Histogram") -> bool:
+        """True when both histograms share the exact bucket grid."""
+        return (self._lo == other._lo
+                and self._log_growth == other._log_growth
+                and self._n_buckets == other._n_buckets)
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram in by adding bucket counts.
+
+        Requires an identical bucket grid (``lo``/``hi``/``growth``), so
+        merged quantiles carry exactly the same error bound as each input
+        — no re-bucketing, no sample retention. This is how the fleet
+        router publishes fleet-wide latency percentiles from per-replica
+        engine histograms.
+        """
+        if not self.compatible(other):
+            raise ValueError(
+                f"cannot merge {other.name!r} into {self.name!r}: "
+                f"bucket grids differ")
+        with other._lock:
+            counts = list(other._counts)
+            count, total = other.count, other.total
+            omin, omax = other.min, other.max
+        with self._lock:
+            for i, c in enumerate(counts):
+                self._counts[i] += c
+            self.count += count
+            self.total += total
+            if omin is not None:
+                self.min = omin if self.min is None else min(self.min, omin)
+            if omax is not None:
+                self.max = omax if self.max is None else max(self.max, omax)
+
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
@@ -200,6 +270,30 @@ class MetricsRegistry:
 
     def observe(self, name: str, x: float) -> None:
         self.histogram(name).observe(x)
+
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold every metric of ``other`` into this registry (by name).
+
+        Missing metrics are created on first sight — histograms cloned
+        with the source's bucket grid so quantile error bounds survive the
+        merge. Returns ``self`` so per-replica registries chain:
+        ``fleet = MetricsRegistry(); [fleet.merge(r.metrics) for r in reps]``.
+        """
+        with other._lock:
+            counters = list(other._counters.items())
+            gauges = list(other._gauges.items())
+            hists = list(other._histograms.items())
+        for name, c in counters:
+            self.counter(name).merge(c)
+        for name, g in gauges:
+            self.gauge(name).merge(g)
+        for name, h in hists:
+            with self._lock:
+                if name not in self._histograms:
+                    self._histograms[name] = Histogram.like(name, h)
+                mine = self._histograms[name]
+            mine.merge(h)
+        return self
 
     def snapshot(self) -> Dict[str, object]:
         """Plain-dict view: counters as ints, gauges/histograms as summaries."""

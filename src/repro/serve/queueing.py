@@ -40,6 +40,7 @@ simulated clock).
 from __future__ import annotations
 
 import itertools
+import math
 from concurrent.futures import Future
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Mapping, Optional, Sequence
@@ -159,7 +160,15 @@ class FairQueue:
             return None
         if self._full_bucket(max_batch) is not None:
             return now
-        return self._oldest().submit_t + deadline
+        oldest = self._oldest().submit_t
+        due = oldest + deadline
+        # float guard: (t + d) - t can round below d, so a step() at
+        # exactly the advertised due time would collect nothing and stall
+        # a DES driver that trusts this value; nudge up by ulps until the
+        # deadline test in collect() is guaranteed to pass
+        while due - oldest < deadline:
+            due = math.nextafter(due, math.inf)
+        return due
 
     def collect(self, now: float, max_batch: int, deadline: float,
                 force: bool = False) -> Optional[List[Request]]:
@@ -191,6 +200,20 @@ class FairQueue:
         self._count -= len(batch)
         self._vclock = max(self._vclock, batch[0].vtime)
         return batch
+
+    def pop_all(self) -> List[Request]:
+        """Remove and return every waiting request in virtual-time order.
+
+        Used by the fleet router to evict the backlog of a killed replica
+        so it can be re-hashed onto the surviving ones — dispatch order on
+        the adoptive replica is re-stamped at admission, so fairness
+        accounting starts fresh there.
+        """
+        reqs = [r for bucket in self._buckets.values() for r in bucket]
+        reqs.sort(key=lambda r: (r.vtime, r.seqno))
+        self._buckets.clear()
+        self._count = 0
+        return reqs
 
     # -- introspection ----------------------------------------------------
     def depths(self) -> Dict[str, object]:

@@ -92,3 +92,86 @@ class TestOtherCollectives:
     def test_world_size_validation(self):
         with pytest.raises(ValueError):
             SimCluster(0)
+
+
+class TestDeterminism:
+    """The fleet bench leans on these collectives for topology accounting —
+    pin that identical inputs give bit-identical outputs, run after run."""
+
+    def test_ring_all_reduce_bit_identical_across_runs(self):
+        rng = np.random.default_rng(42)
+        bufs = [rng.normal(size=(4, 7)) for _ in range(4)]
+        out1, stats1 = SimCluster(4).ring_all_reduce(bufs)
+        out2, stats2 = SimCluster(4).ring_all_reduce(bufs)
+        for a, b in zip(out1, out2):
+            np.testing.assert_array_equal(a, b)       # bitwise, not approx
+        assert stats1.bytes_sent_per_rank == stats2.bytes_sent_per_rank
+        assert stats1.steps == stats2.steps
+
+    def test_all_ranks_agree_bitwise(self):
+        rng = np.random.default_rng(7)
+        bufs = [rng.normal(size=33) for _ in range(5)]
+        out, _ = SimCluster(5).ring_all_reduce(bufs)
+        for o in out[1:]:
+            np.testing.assert_array_equal(o, out[0])
+
+
+class TestRoundTrips:
+    def test_shard_then_all_gather_reconstructs(self):
+        # scatter a vector by shard_indices, all_gather it back — every
+        # rank ends with the original, in order
+        w, n = 3, 11
+        cluster = SimCluster(w)
+        data = np.arange(n, dtype=float) * 1.5
+        shards = [data[cluster.shard_indices(n, r)] for r in range(w)]
+        gathered, stats = cluster.all_gather(shards)
+        for g in gathered:
+            np.testing.assert_array_equal(g, data)
+        assert stats.steps == w - 1
+
+    def test_all_to_all_is_an_involution(self):
+        # exchanging twice restores every rank's original buffer
+        w = 4
+        rng = np.random.default_rng(3)
+        bufs = [rng.normal(size=(w * 2, 3)) for _ in range(w)]
+        once, _ = SimCluster(w).all_to_all(bufs)
+        twice, _ = SimCluster(w).all_to_all(once)
+        for a, b in zip(twice, bufs):
+            np.testing.assert_array_equal(a, b)
+
+    def test_all_to_all_reduce_gather_equivalence(self):
+        # summing each rank's all_to_all output chunk-wise equals the
+        # corresponding shard of a full all-reduce (Ulysses accounting)
+        w = 2
+        bufs = [np.arange(4.0) + 10 * r for r in range(w)]
+        exchanged, _ = SimCluster(w).all_to_all(bufs)
+        reduced, _ = SimCluster(w).ring_all_reduce(bufs)
+        for r in range(w):
+            shard = np.split(reduced[r], w)[r]
+            np.testing.assert_allclose(exchanged[r].reshape(w, -1).sum(0),
+                                       shard)
+
+    def test_all_to_all_validation(self):
+        with pytest.raises(ValueError):
+            SimCluster(3).all_to_all([np.ones((4, 2))] * 3)   # 4 % 3 != 0
+        with pytest.raises(ValueError):
+            SimCluster(3).all_to_all([np.ones((3, 2))] * 2)
+
+    def test_all_gather_count_mismatch(self):
+        with pytest.raises(ValueError):
+            SimCluster(2).all_gather([np.ones(2)])
+
+
+class TestCommStats:
+    def test_merge_accumulates(self):
+        from repro.distributed import CommStats
+        total = CommStats()
+        total.merge(CommStats(100.0, 3))
+        total.merge(CommStats(50.0, 2))
+        assert total.bytes_sent_per_rank == 150.0
+        assert total.steps == 5
+
+    def test_broadcast_tree_steps(self):
+        for w, steps in ((1, 0), (2, 1), (4, 2), (5, 3)):
+            _, stats = SimCluster(w).broadcast(np.ones(4))
+            assert stats.steps == steps

@@ -3,6 +3,8 @@
 import pytest
 
 from repro.perf import (batching_speedup_bound, engine_capacity,
+                        fleet_capacity, fleet_scaling_bound,
+                        replicas_for_rate, routing_imbalance,
                         serial_capacity, utilization)
 from repro.serve import ServiceModel
 
@@ -45,3 +47,48 @@ class TestCapacity:
     def test_validation(self):
         with pytest.raises(ValueError):
             engine_capacity(SM, 0, 100)
+
+
+class TestFleetCapacity:
+    def test_linear_in_replicas(self):
+        one = engine_capacity(SM, 8, 100)
+        for n in (1, 2, 4, 8):
+            assert fleet_capacity(SM, 8, 100, n) == pytest.approx(n * one)
+
+    def test_replica_validation(self):
+        with pytest.raises(ValueError):
+            fleet_capacity(SM, 8, 100, 0)
+        with pytest.raises(ValueError):
+            fleet_scaling_bound(0, [1, 1])
+
+    def test_routing_imbalance(self):
+        assert routing_imbalance([10, 10, 10, 10]) == pytest.approx(1.0)
+        # one replica takes half the traffic of a 4-shard fleet -> 2.0
+        assert routing_imbalance([30, 10, 10, 10]) == pytest.approx(2.0)
+        assert routing_imbalance([0, 0]) == 1.0       # no traffic yet
+        with pytest.raises(ValueError):
+            routing_imbalance([])
+        with pytest.raises(ValueError):
+            routing_imbalance([3, -1])
+
+    def test_scaling_bound_caps_speedup(self):
+        # perfectly balanced: the full replica count is achievable
+        assert fleet_scaling_bound(4, [25, 25, 25, 25]) == pytest.approx(4.0)
+        # the busiest replica is the critical path
+        assert fleet_scaling_bound(4, [40, 20, 20, 20]) == pytest.approx(2.5)
+
+    def test_replicas_for_rate(self):
+        cap = engine_capacity(SM, 8, 100)
+        assert replicas_for_rate(0.0, SM, 8, 100) == 1
+        assert replicas_for_rate(0.5 * cap, SM, 8, 100, headroom=1.0) == 1
+        assert replicas_for_rate(2.5 * cap, SM, 8, 100, headroom=1.0) == 3
+        # headroom inflates the fleet: 0.5 headroom doubles the need
+        assert replicas_for_rate(2.0 * cap, SM, 8, 100, headroom=0.5) == 4
+
+    def test_replicas_for_rate_validation(self):
+        with pytest.raises(ValueError):
+            replicas_for_rate(-1.0, SM, 8, 100)
+        with pytest.raises(ValueError):
+            replicas_for_rate(10.0, SM, 8, 100, headroom=0.0)
+        with pytest.raises(ValueError):
+            replicas_for_rate(10.0, SM, 8, 100, headroom=1.5)

@@ -453,3 +453,80 @@ class TestObservabilityGauges:
         engine._thread = dead
         assert not engine.is_running
         engine._thread = None
+
+
+class TestEvictAdopt:
+    """Fleet-membership primitives: evicting a backlog and adopting it on a
+    peer engine (what FleetRouter.kill is built from)."""
+
+    def test_evict_returns_backlog_and_clears_queue(self):
+        engine, _ = _sim_engine(_predictor(_model()), result_cache_items=8)
+        imgs = _images(4)
+        futs = [engine.submit(im) for im in imgs]
+        reqs, chains = engine.evict_pending()
+        assert len(reqs) == 4
+        assert engine.pending == 0
+        assert all(not f.done() for f in futs)          # unresolved, not failed
+        assert engine.metrics.counter("evicted").value == 4
+        assert all(chains[id(r)] == [] for r in reqs)
+        # reservations are gone: resubmitting the payload starts fresh
+        assert engine.stats()["result_cache"]["inflight"] == 0
+
+    def test_adopt_runs_foreign_requests_to_completion(self):
+        model = _model()
+        src, _ = _sim_engine(_predictor(model), result_cache_items=8)
+        dst, _ = _sim_engine(_predictor(model), result_cache_items=8)
+        imgs = _images(3)
+        futs = [src.submit(im) for im in imgs]
+        reqs, chains = src.evict_pending()
+        dst.adopt(reqs, chains)
+        assert dst.pending == 3
+        assert dst.metrics.counter("adopted").value == 3
+        dst.drain()
+        ref = _predictor(model).predict_batch(imgs)
+        for fut, r in zip(futs, ref):
+            np.testing.assert_array_equal(fut.result(), r)
+
+    def test_adopt_transfers_collapsed_twins(self):
+        model = _model()
+        src, _ = _sim_engine(_predictor(model), result_cache_items=8)
+        dst, _ = _sim_engine(_predictor(model), result_cache_items=8)
+        img = _images(1)[0]
+        first = src.submit(img)
+        twin = src.submit(img)             # collapses onto first, not queued
+        reqs, chains = src.evict_pending()
+        assert len(reqs) == 1
+        assert len(chains[id(reqs[0])]) == 1
+        dst.adopt(reqs, chains)
+        dst.drain()
+        np.testing.assert_array_equal(first.result(), twin.result())
+        # a later duplicate on the adoptive engine hits its cache
+        third = dst.submit(img)
+        assert third.done()
+        assert dst.metrics.counter("cache_hits").value == 1
+
+    def test_adopt_is_atomic_on_overflow(self):
+        model = _model()
+        src, _ = _sim_engine(_predictor(model))
+        dst, _ = _sim_engine(_predictor(model), max_queue=2)
+        for im in _images(4):
+            src.submit(im)
+        reqs, chains = src.evict_pending()
+        with pytest.raises(EngineOverloaded):
+            dst.adopt(reqs, chains)
+        assert dst.pending == 0            # nothing partially admitted
+        assert all(not r.future.done() for r in reqs)
+
+    def test_adopt_nothing_is_noop(self):
+        engine, _ = _sim_engine(_predictor(_model()))
+        engine.adopt([])
+        assert engine.pending == 0
+
+    def test_pending_tracks_queue_depth(self):
+        engine, _ = _sim_engine(_predictor(_model()), result_cache_items=0)
+        assert engine.pending == 0
+        for im in _images(3):
+            engine.submit(im)
+        assert engine.pending == 3
+        engine.drain()
+        assert engine.pending == 0

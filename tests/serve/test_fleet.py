@@ -1,0 +1,92 @@
+"""Tests for fleet assembly (build_fleet / FleetConfig)."""
+
+import numpy as np
+import pytest
+
+from repro.data import SyntheticPAIP
+from repro.distributed import SimCluster
+from repro.models.vit import ViTSegmenter
+from repro.pipeline import PatchPipeline
+from repro.serve import (FleetConfig, Predictor, ServiceModel, SimClock,
+                         build_fleet)
+
+
+def _factory():
+    model = ViTSegmenter(patch_size=4, channels=1, dim=16, depth=1, heads=2,
+                         max_len=256, rng=np.random.default_rng(1))
+
+    def make(rank):
+        pipe = PatchPipeline(patch_size=4, split_value=8.0, channels=1,
+                             cache_items=32)
+        return Predictor(model, pipe, max_batch=4, bucket=16)
+
+    return make
+
+
+class TestBuildFleet:
+    def test_defaults_two_replicas(self):
+        router = build_fleet(_factory(), clock=SimClock().now,
+                             service_model=ServiceModel())
+        assert len(router.replicas) == 2
+        assert router.cluster.world_size == 2
+        assert router.spill is True
+
+    def test_replicas_overrides_config(self):
+        cfg = FleetConfig(replicas=2, spill=False, route_seconds=0.5)
+        router = build_fleet(_factory(), cfg, replicas=4,
+                             clock=SimClock().now,
+                             service_model=ServiceModel())
+        assert len(router.replicas) == 4
+        assert router.spill is False
+        assert router.route_seconds == 0.5
+
+    def test_engines_are_independent(self):
+        router = build_fleet(_factory(), replicas=3, clock=SimClock().now,
+                             service_model=ServiceModel())
+        predictors = {id(r.engine.predictor) for r in router.replicas}
+        queues = {id(r.engine._queue) for r in router.replicas}
+        assert len(predictors) == 3
+        assert len(queues) == 3
+
+    def test_engine_opts_forwarded(self):
+        router = build_fleet(_factory(), replicas=2, clock=SimClock().now,
+                             service_model=ServiceModel(),
+                             max_queue=7, result_cache_items=0)
+        for r in router.replicas:
+            assert r.engine.config.max_queue == 7
+            assert r.engine.config.result_cache_items == 0
+
+    def test_heterogeneous_service_models(self):
+        fast = ServiceModel()
+        slow = ServiceModel(batch_seconds=10 * fast.batch_seconds,
+                            token_seconds=10 * fast.token_seconds,
+                            item_seconds=10 * fast.item_seconds)
+        router = build_fleet(_factory(), replicas=2, clock=SimClock().now,
+                             service_model=[fast, slow])
+        assert router.replicas[0].engine.service_model is fast
+        assert router.replicas[1].engine.service_model is slow
+
+    def test_service_model_count_mismatch(self):
+        with pytest.raises(ValueError):
+            build_fleet(_factory(), replicas=3, clock=SimClock().now,
+                        service_model=[ServiceModel(), ServiceModel()])
+
+    def test_replica_count_validation(self):
+        with pytest.raises(ValueError):
+            build_fleet(_factory(), replicas=0)
+
+    def test_explicit_cluster(self):
+        cluster = SimCluster(2)
+        router = build_fleet(_factory(), replicas=2, cluster=cluster,
+                             clock=SimClock().now,
+                             service_model=ServiceModel())
+        assert router.cluster is cluster
+
+    def test_end_to_end_submit(self):
+        router = build_fleet(_factory(), replicas=2, clock=SimClock().now,
+                             service_model=ServiceModel())
+        ds = SyntheticPAIP(64, 3)
+        futs = [router.submit(ds[i].image) for i in range(3)]
+        router.drain_all()
+        for fut in futs:
+            assert fut.result().ndim == 3

@@ -6,9 +6,10 @@ import pytest
 from repro.data import SyntheticPAIP
 from repro.models.vit import ViTSegmenter
 from repro.pipeline import PatchPipeline
-from repro.serve import (Arrival, InferenceEngine, Predictor, ServiceModel,
-                         SimClock, merge_traces, poisson_trace, run_load,
-                         serial_baseline)
+from repro.serve import (Arrival, InferenceEngine, Predictor, ReplicaDrain,
+                         ReplicaKill, ServiceModel, SimClock, build_fleet,
+                         merge_traces, poisson_trace, run_fleet_load,
+                         run_load, serial_baseline)
 
 
 def _setup(n=6, **engine_kw):
@@ -126,6 +127,119 @@ class TestRunLoad:
                    for a in ordered]
         serial = serial_baseline(trace, lengths, ServiceModel())
         assert report["throughput"] > serial["throughput"]
+
+
+def _fleet_setup(n_imgs=6, replicas=3, **opts):
+    ds = SyntheticPAIP(64, n_imgs)
+    imgs = [ds[i].image for i in range(n_imgs)]
+    model = ViTSegmenter(patch_size=4, channels=1, dim=16, depth=1, heads=2,
+                         max_len=256, rng=np.random.default_rng(1))
+
+    def factory(rank):
+        pipe = PatchPipeline(patch_size=4, split_value=8.0, channels=1,
+                             cache_items=32)
+        return Predictor(model, pipe, max_batch=4, bucket=16)
+
+    clock = SimClock()
+    args = dict(service_model=ServiceModel(), flush_deadline=0.02,
+                result_cache_items=16)
+    args.update(opts)
+    router = build_fleet(factory, replicas=replicas, clock=clock.now, **args)
+    return imgs, router, clock
+
+
+class TestRunFleetLoad:
+    def test_deterministic_across_runs(self):
+        reports = []
+        for _ in range(2):
+            imgs, router, clock = _fleet_setup()
+            trace = merge_traces(*[poisson_trace(30.0, 10, seed=40 + c,
+                                                 n_items=len(imgs))
+                                   for c in range(3)])
+            reports.append(run_fleet_load(router, trace, imgs, clock))
+        a, b = reports
+        assert a["throughput"] == b["throughput"]
+        assert a["latency"] == b["latency"]
+        assert a["per_replica"] == b["per_replica"]
+        assert a["cache_hit_rate"] == b["cache_hit_rate"]
+
+    def test_accounting_closes(self):
+        imgs, router, clock = _fleet_setup()
+        trace = poisson_trace(50.0, 30, seed=4, n_items=len(imgs))
+        report = run_fleet_load(router, trace, imgs, clock)
+        assert report["offered"] == 30
+        assert (report["requests_completed"]
+                + report["rejected_submissions"] == 30)
+        assert report["failed"] == 0
+        assert report["latency"]["count"] == report["requests_completed"]
+
+    def test_replica_kill_loses_no_requests(self):
+        """Regression: a mid-trace kill re-hashes the backlog; every
+        accepted request still completes (the ISSUE's no-loss gate)."""
+        imgs, router, clock = _fleet_setup()
+        trace = poisson_trace(200.0, 40, seed=9, n_items=len(imgs))
+        kill_t = trace[len(trace) // 2].time
+        report = run_fleet_load(router, trace, imgs, clock,
+                                events=[ReplicaKill(kill_t, 1)])
+        assert report["kills"] == 1
+        assert report["failed"] == 0
+        assert (report["requests_completed"]
+                + report["rejected_submissions"] == report["offered"])
+        assert report["per_replica"][1]["state"] == "down"
+        assert report["per_replica"][1]["queue_depth"] == 0
+
+    def test_replica_drain_event(self):
+        imgs, router, clock = _fleet_setup()
+        trace = poisson_trace(100.0, 30, seed=11, n_items=len(imgs))
+        drain_t = trace[len(trace) // 3].time
+        report = run_fleet_load(router, trace, imgs, clock,
+                                events=[ReplicaDrain(drain_t, 0)])
+        assert report["drains"] == 1
+        assert report["failed"] == 0
+        assert report["per_replica"][0]["state"] == "draining"
+        # the drained replica's queue still retired through the batcher
+        assert report["per_replica"][0]["queue_depth"] == 0
+        # no new work after the drain point: rank 0 routed less than peers
+        routed = {rank: rep["routed"]
+                  for rank, rep in report["per_replica"].items()}
+        assert routed[0] <= max(routed[1], routed[2])
+
+    def test_routing_delay_adds_latency(self):
+        imgs, fast_router, clock0 = _fleet_setup()
+        trace = poisson_trace(20.0, 12, seed=13, n_items=len(imgs))
+        base = run_fleet_load(fast_router, trace, imgs, clock0)
+        imgs2, slow_router, clock1 = _fleet_setup()
+        slow_router.route_seconds = 0.05
+        slow = run_fleet_load(slow_router, trace, imgs2, clock1)
+        # a constant hop shifts every submission equally: engine-visible
+        # latency (measured from post-hop submit) is unchanged, but the
+        # timeline — and so the makespan from first *arrival* — stretches
+        assert slow["latency"]["mean"] == pytest.approx(
+            base["latency"]["mean"])
+        assert slow["makespan"] > base["makespan"]
+
+    def test_unknown_event_rejected(self):
+        imgs, router, clock = _fleet_setup()
+        trace = poisson_trace(10.0, 3, seed=2, n_items=len(imgs))
+        with pytest.raises(TypeError):
+            run_fleet_load(router, trace, imgs, clock,
+                           events=[Arrival(0.0, 0)])
+
+    def test_empty_trace_rejected(self):
+        imgs, router, clock = _fleet_setup()
+        with pytest.raises(ValueError):
+            run_fleet_load(router, [], imgs, clock)
+
+    def test_fleet_outscales_single_engine(self):
+        trace = merge_traces(*[poisson_trace(60.0, 25, seed=60 + c, n_items=6)
+                               for c in range(4)])
+        throughput = {}
+        for n in (1, 4):
+            imgs, router, clock = _fleet_setup(replicas=n,
+                                               result_cache_items=0)
+            throughput[n] = run_fleet_load(router, trace, imgs,
+                                           clock)["throughput"]
+        assert throughput[4] > throughput[1]
 
 
 class TestSerialBaseline:

@@ -5,7 +5,7 @@ import threading
 import numpy as np
 import pytest
 
-from repro.serve import Counter, Histogram, MetricsRegistry
+from repro.serve import Counter, Gauge, Histogram, MetricsRegistry
 
 
 class TestCounter:
@@ -110,7 +110,6 @@ class TestRegistry:
 
 class TestGauge:
     def test_value_and_peak(self):
-        from repro.serve import Gauge
         g = Gauge("depth")
         assert g.value == 0 and g.peak == 0
         g.set(5)
@@ -141,3 +140,89 @@ class TestGauge:
         for t in ts:
             t.join()
         assert g.peak == 3299
+
+
+class TestMerge:
+    def test_counter_merge_adds(self):
+        a, b = Counter("x"), Counter("x")
+        a.inc(3)
+        b.inc(4)
+        a.merge(b)
+        assert a.value == 7
+        assert b.value == 4          # source untouched
+
+    def test_gauge_merge_sums_values_and_peaks(self):
+        a, b = Gauge("depth"), Gauge("depth")
+        a.set(5)
+        a.set(2)
+        b.set(10)
+        b.set(1)
+        a.merge(b)
+        assert a.value == 3          # 2 + 1: fleet depth is the sum
+        assert a.peak == 15          # 5 + 10: upper bound, peaks need not align
+
+    def test_histogram_merge_equals_single_stream(self):
+        """Merged per-replica halves must answer quantiles exactly like one
+        histogram that saw every sample — the fleet-percentile contract."""
+        rng = np.random.default_rng(3)
+        samples = rng.lognormal(mean=-3.0, sigma=1.0, size=2000)
+        whole = Histogram("lat")
+        left, right = Histogram("lat"), Histogram("lat")
+        for i, s in enumerate(samples):
+            whole.observe(float(s))
+            (left if i % 2 == 0 else right).observe(float(s))
+        left.merge(right)
+        assert left.count == whole.count
+        assert left.total == pytest.approx(whole.total)
+        assert left.min == whole.min
+        assert left.max == whole.max
+        for p in (50, 95, 99):
+            assert left.percentile(p) == whole.percentile(p)
+
+    def test_histogram_merge_empty_sides(self):
+        a, b = Histogram("lat"), Histogram("lat")
+        b.observe(0.5)
+        a.merge(b)                    # empty <- nonempty
+        assert a.count == 1 and a.min == 0.5
+        c = Histogram("lat")
+        a.merge(c)                    # nonempty <- empty
+        assert a.count == 1 and a.max == 0.5
+
+    def test_histogram_grid_mismatch_rejected(self):
+        a = Histogram("lat", growth=1.12)
+        b = Histogram("lat", growth=1.5)
+        with pytest.raises(ValueError):
+            a.merge(b)
+        assert not a.compatible(b)
+
+    def test_histogram_like_clones_grid(self):
+        src = Histogram("lat", lo=1e-4, hi=10.0, growth=1.3)
+        clone = Histogram.like("copy", src)
+        assert clone.name == "copy"
+        assert clone.count == 0
+        assert clone.compatible(src)
+        src.observe(0.2)
+        clone.merge(src)              # always compatible by construction
+        assert clone.count == 1
+
+    def test_registry_merge_creates_missing_metrics(self):
+        fleet, replica = MetricsRegistry(), MetricsRegistry()
+        replica.inc("completed", 5)
+        replica.gauge("queue_depth").set(3)
+        replica.observe("lat", 0.25)
+        fleet.merge(replica)
+        assert fleet.counter("completed").value == 5
+        assert fleet.gauge("queue_depth").value == 3
+        assert fleet.histogram("lat").count == 1
+        # cloned histograms inherit the source grid
+        assert fleet.histogram("lat").compatible(replica.histogram("lat"))
+
+    def test_registry_merge_chains(self):
+        fleet = MetricsRegistry()
+        for k in range(3):
+            rep = MetricsRegistry()
+            rep.inc("completed", k + 1)
+            rep.observe("lat", 0.1 * (k + 1))
+            assert fleet.merge(rep) is fleet
+        assert fleet.counter("completed").value == 6
+        assert fleet.histogram("lat").count == 3
