@@ -1,12 +1,14 @@
-"""Serving demo: trace -> compile -> micro-batched Predictor.
+"""Serving demo: trace -> compile -> work-graph scheduled Predictor.
 
 Shows the compiled inference runtime end to end:
 1. compile a ViTSegmenter forward once (trace -> plan with fused kernels
    and liveness-planned buffers) and verify it is bit-identical to the
    eager ``no_grad`` forward,
 2. serve a stream of variable-length APF sequences through the
-   micro-batching ``Predictor`` (length bucketing + plan cache + LRU
-   preprocessing cache),
+   ``Predictor`` — the synchronous-drain adapter over the shared
+   ``WorkGraphScheduler`` (length bucketing, micro-batch formation,
+   per-signature plan cache, vectorized stitch), the same scheduler the
+   async engine, the fleet router and the streaming runner pump,
 3. compare serving throughput against the pre-runtime per-image eager
    path, and run the BTCV-style slice-volume protocol.
 
@@ -50,7 +52,8 @@ def main():
     print(f"compiled plan: {cm.plan.stats}")
     print(f"bit-identical to eager forward: {np.array_equal(eager, compiled)}")
 
-    # -- 2. micro-batched serving ----------------------------------------
+    # -- 2. micro-batched serving (a synchronous drain of the work graph:
+    #       the scheduler buckets, batches, executes, stitches) ----------
     server = Predictor(model, pipe, max_batch=8, bucket=64)
     server.predict_batch(imgs, keys=list(range(N_IMAGES)))   # warm plans
     t0 = time.perf_counter()

@@ -41,7 +41,7 @@ from .batched import BatchedAdaptivePatcher
 from .collate import CollatedBatch, collate_batch
 from .volumetric import BatchedVolumetricPatcher
 
-__all__ = ["PatchPipeline"]
+__all__ = ["PatchPipeline", "content_key"]
 
 
 def _key_seed(key: Hashable) -> int:
@@ -56,11 +56,21 @@ def _key_seed(key: Hashable) -> int:
     return int.from_bytes(digest, "little")
 
 
-def _content_key(image: np.ndarray) -> Hashable:
-    """Stable content hash of an image (used when the caller has no ids)."""
+def content_key(image: np.ndarray) -> Hashable:
+    """Stable content hash of an image (used when the caller has no ids).
+
+    The one digest shared by every cache layer: the pipeline's sequence
+    LRU, the engine's result cache, and the fleet router's rendezvous
+    affinity all key on this value, so no two layers can ever disagree
+    about what "the same image" is.
+    """
     a = np.ascontiguousarray(image)
     return (a.shape, a.dtype.str,
             hashlib.blake2b(a.tobytes(), digest_size=16).hexdigest())
+
+
+#: Backwards-compatible alias — ``content_key`` predates its public name.
+_content_key = content_key
 
 
 def _extract_shard(config: Union[APFConfig, VolumeAPFConfig],
@@ -164,7 +174,7 @@ class PatchPipeline:
         if self.cache is None:
             return self._compute_natural(images)
         if keys is None:
-            keys = [_content_key(im) for im in images]
+            keys = [content_key(im) for im in images]
         out: List[Optional[PatchSequence]] = [None] * len(images)
         miss_idx = []
         with self._cache_lock:

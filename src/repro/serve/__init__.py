@@ -1,12 +1,16 @@
 """``repro.serve`` — the inference serving stack.
 
-Two layers:
+One scheduler, several adapters:
 
-* :class:`Predictor` — the synchronous micro-batching core: cached APF
-  preprocessing, sequence-length bucketing, compiled per-signature plans
-  (:mod:`repro.runtime`), vectorized map stitching (:mod:`.stitch`).
-* :class:`InferenceEngine` — the asynchronous front-end over a shared
-  Predictor: ``submit(image) -> Future``, continuous batching with a
+* :class:`WorkGraphScheduler` (:mod:`.scheduler`) — the single truth for
+  inference orchestration: tiles → sequences → micro-batches → stitch.
+  Length bucketing, micro-batch formation, compiled per-signature plans
+  (:mod:`repro.runtime`) and vectorized map stitching (:mod:`.stitch`)
+  live here and nowhere else.
+* :class:`Predictor` — the synchronous-drain adapter: cached APF
+  preprocessing plus a blocking drain of the work graph.
+* :class:`InferenceEngine` — the pump adapter over a shared Predictor:
+  ``submit(image) -> Future``, continuous batching with a
   latency-deadline flush, weighted-fair priority lanes, digest-keyed
   result caching, admission control (:class:`EngineOverloaded`), and a
   metrics registry. :mod:`.loadgen` drives it deterministically under a
@@ -17,6 +21,8 @@ Two layers:
   fleet-wide admission control. :func:`run_fleet_load` extends the DES to
   fleet topology (per-replica service models, routing delay, virtual-time
   replica-kill fault injection).
+* :class:`~repro.stream.runner.StreamingRunner` (in :mod:`repro.stream`)
+  — the bounded macro-tile feed over the same scheduler.
 """
 
 from .engine import BatchReport, EngineConfig, InferenceEngine
@@ -29,9 +35,13 @@ from .predictor import Predictor, predict_image
 from .queueing import EngineOverloaded, FairQueue, Request
 from .router import (REPLICA_DOWN, REPLICA_DRAINING, REPLICA_UP, FleetRouter,
                      Replica, rendezvous_order)
+from .scheduler import (MicroBatch, SequenceNode, TileNode,
+                        WorkGraphScheduler, class_map)
 from .stitch import stitch_image, stitch_volume
 
 __all__ = [
+    "WorkGraphScheduler", "SequenceNode", "MicroBatch", "TileNode",
+    "class_map",
     "Predictor", "predict_image", "stitch_image", "stitch_volume",
     "InferenceEngine", "EngineConfig", "BatchReport",
     "FairQueue", "Request", "EngineOverloaded",

@@ -12,14 +12,18 @@ futures.
 Bit-identity contract
 ---------------------
 Batches always contain a single length bucket and dispatch FIFO within a
-lane, in chunks of exactly ``predictor.max_batch`` — the same grouping
-``Predictor.predict_batch`` produces. Submitting a request set and draining
-the queue therefore yields **bit-identical** arrays to calling
-``predict_batch`` on the same set (the property suite pins this across
-seeds and shapes). Under streaming arrivals the chunk *composition* depends
-on timing; each chunk still runs the exact ``predict_sequences`` path, but
-BLAS blocking varies with batch shape, so cross-composition agreement is
-tight (~1e-7) rather than bitwise — the same caveat as any batched server.
+lane; every flush executes through the shared
+:class:`~repro.serve.scheduler.WorkGraphScheduler`, whose micro-batch
+formation (chunks of exactly ``predictor.max_batch``) is the same single
+implementation ``Predictor.predict_batch`` drains. Submitting a request
+set and draining the queue therefore yields **bit-identical** arrays to
+calling ``predict_batch`` on the same set (the property suite pins this
+across seeds and shapes), and both front-ends produce the same
+``(batch, length)`` signatures — one shared plan cache, never a split
+one. Under streaming arrivals the chunk *composition* depends on timing;
+each chunk still runs the exact scheduler path, but BLAS blocking varies
+with batch shape, so cross-composition agreement is tight (~1e-7) rather
+than bitwise — the same caveat as any batched server.
 
 Beyond batching, the engine layers on what a front-end needs:
 
@@ -56,7 +60,7 @@ import numpy as np
 # The engine keys its result cache with the same content digest the
 # pipeline uses for its sequence cache, so one hash serves both layers
 # (and the two caches can never disagree about what "the same image" is).
-from ..pipeline.engine import _content_key as _digest
+from ..pipeline.engine import content_key as _digest
 from .metrics import MetricsRegistry
 from .predictor import class_map
 from .queueing import DEFAULT_LANES, EngineOverloaded, FairQueue, Request
@@ -144,6 +148,10 @@ class InferenceEngine:
         if cfg.max_batch < 1 or cfg.flush_deadline < 0:
             raise ValueError("max_batch >= 1 and flush_deadline >= 0 required")
         self.predictor = predictor
+        # The engine is a *pump* over the predictor's work-graph scheduler:
+        # admission/lanes/caching decide when a flush happens, the scheduler
+        # decides (and owns) how it buckets, batches, and stitches.
+        self.scheduler = predictor.scheduler
         self.config = cfg
         self.clock = clock
         self.service_model = service_model
@@ -207,7 +215,7 @@ class InferenceEngine:
         fresh: List[Request] = []
         fresh_images: List[np.ndarray] = []
         hits: Dict[int, np.ndarray] = {}
-        n_chained = 0
+        chained: List[tuple] = []    # (id(primary), entry) made by THIS call
         cache_on = self.config.result_cache_items > 0
         # hash outside the lock: digests depend only on the payloads, and
         # holding the condition while hashing S slices would stall the
@@ -225,10 +233,10 @@ class InferenceEngine:
                            if digest is not None else None)
                 if primary is not None:            # collapse onto in-flight twin
                     fut = Future()
-                    self._collapsed.setdefault(id(primary), []).append(
-                        (now, lane, fut))
+                    entry = (now, lane, fut)
+                    self._collapsed.setdefault(id(primary), []).append(entry)
+                    chained.append((id(primary), entry))
                     futures.append(fut)
-                    n_chained += 1
                     continue
                 req = Request(seq=None, bucket=-1, lane=lane, submit_t=now,
                               key=digest)
@@ -248,20 +256,21 @@ class InferenceEngine:
                 seqs = self.predictor._naturals(fresh_images, keys)
                 for req, seq in zip(fresh, seqs):
                     req.seq = seq
-                    req.bucket = self.predictor.bucket_length(len(seq))
+                    req.bucket = self.scheduler.bucket_length(len(seq))
         except BaseException as exc:
             with self._cond:
-                self._rollback(fresh, exc)
+                self._rollback(fresh, exc, chained)
             raise
         with self._cond:
             try:
                 self._queue.push_all(fresh, retry_after=self.retry_after_hint())
             except EngineOverloaded as exc:
-                self.metrics.inc("rejected", self._rollback(fresh, exc))
+                self.metrics.inc("rejected",
+                                 self._rollback(fresh, exc, chained))
                 raise
             self.metrics.inc("submitted", len(images))
             self.metrics.inc("cache_hits", len(hits))
-            self.metrics.inc("collapsed", n_chained)
+            self.metrics.inc("collapsed", len(chained))
             self.metrics.gauge("queue_depth").set(len(self._queue))
             self._cond.notify_all()
         for i, value in hits.items():
@@ -272,10 +281,21 @@ class InferenceEngine:
             futures[i].set_result(value.copy())
         return futures
 
-    def _rollback(self, fresh: List[Request], exc: BaseException) -> int:
+    def _rollback(self, fresh: List[Request], exc: BaseException,
+                  chained: Sequence[tuple] = ()) -> int:
         """Undo reservations for a failed admission (caller holds the lock);
         twin futures chained onto them fail with ``exc``. Returns the number
-        of requests torn down."""
+        of requests torn down.
+
+        ``chained`` lists the ``(id(primary), entry)`` collapse
+        registrations *this* admission made, including those riding
+        primaries submitted by earlier calls. Admission is all-or-nothing,
+        so these must be unchained too — otherwise a rejected volume
+        leaves phantom twin futures on a foreign in-flight request, which
+        later resolve into thin air (double-counted latency, wasted result
+        copies, and an accounting drift the streaming runner's
+        retry-on-overload loop compounds every retry).
+        """
         n = len(fresh)
         for req in fresh:
             if req.key is not None and self._inflight.get(req.key) is req:
@@ -283,6 +303,15 @@ class InferenceEngine:
             for _, _, fut in self._collapsed.pop(id(req), []):
                 fut.set_exception(exc)
                 n += 1
+        for primary_id, entry in chained:
+            entries = self._collapsed.get(primary_id)
+            if entries is None or entry not in entries:
+                continue           # already torn down with a fresh primary
+            entries.remove(entry)
+            if not entries:
+                del self._collapsed[primary_id]
+            entry[2].set_exception(exc)
+            n += 1
         return n
 
     def submit(self, image: np.ndarray, *, lane: str = "interactive") -> Future:
@@ -334,8 +363,9 @@ class InferenceEngine:
     # -- execution ---------------------------------------------------------
     def _run(self, batch: List[Request], started: float) -> BatchReport:
         t0 = time.perf_counter()
-        # The exact predict_batch path: same fit/collate/forward/stitch.
-        maps = self.predictor.predict_sequences([r.seq for r in batch])
+        # Pump the shared work-graph scheduler: the exact predict_batch
+        # grouping and fit/collate/forward/stitch, one implementation.
+        maps = self.scheduler.execute([r.seq for r in batch])
         real_s = time.perf_counter() - t0
         length = batch[0].bucket
         cost = (self.service_model.cost(len(batch), length)

@@ -3,11 +3,13 @@
 :class:`Predictor` is the serving counterpart of the training pipeline:
 it pulls natural (pre-drop) sequences from a
 :class:`~repro.pipeline.engine.PatchPipeline` (LRU-cached, worker-sharded)
-or any patcher, **buckets** their variable lengths onto a small ladder of
-padded lengths, micro-batches same-bucket sequences, executes one compiled
-:class:`~repro.runtime.compile.ExecutionPlan` per input signature, and
-stitches per-token predictions back to full-resolution maps with the
-vectorized scatter in :mod:`.stitch`.
+or any patcher, and drains them through the shared
+:class:`~repro.serve.scheduler.WorkGraphScheduler` — the single
+implementation of length bucketing, micro-batch formation, per-signature
+plan execution and stitch scatter that the async engine, the fleet
+router and the streaming runner ride as well. The Predictor is the
+*synchronous drain* adapter: build sequence nodes, drain the graph,
+return results in request order.
 
 Bucketing semantics
 -------------------
@@ -27,29 +29,15 @@ that equality end-to-end.
 
 from __future__ import annotations
 
-import time
+import warnings
 from typing import Hashable, List, Optional, Sequence
 
 import numpy as np
 
-from ..models.embedding import collate_sequences
-from ..nn import kernels as K
-from ..runtime import compile_model
-from .. import nn
 from ..train.volumetric import predict_volume_batched
-from .stitch import stitch_image, stitch_volume
+from .scheduler import WorkGraphScheduler, class_map
 
-__all__ = ["Predictor", "predict_image"]
-
-
-def class_map(probs: np.ndarray) -> np.ndarray:
-    """Probability map -> int64 class map (argmax over channels; 0.5
-    threshold for single-channel binary heads). The single definition of
-    serving-side post-processing — shared by :meth:`Predictor.
-    predict_class_slices` and the engine's volume reassembly."""
-    if probs.shape[0] == 1:
-        return (probs[0] >= 0.5).astype(np.int64)
-    return probs.argmax(axis=0)
+__all__ = ["Predictor", "predict_image", "class_map"]
 
 
 class Predictor:
@@ -97,12 +85,15 @@ class Predictor:
         self.compiled = compiled
         self.drop_seed = drop_seed
         self.max_len = model.backbone.embed.max_len
-        self._plans: dict = {}
-        self._fit = (pipeline.patcher.fit_length
-                     if hasattr(pipeline, "patcher") else pipeline.fit_length)
         self.stats = {"images": 0, "batches": 0, "plans": 0,
                       "compile_seconds": 0.0, "padded_tokens": 0,
                       "real_tokens": 0}
+        self.scheduler = WorkGraphScheduler(self)
+
+    @property
+    def _plans(self) -> dict:
+        """The per-signature compiled-plan cache (owned by the scheduler)."""
+        return self.scheduler._plans
 
     # -- sequence acquisition ---------------------------------------------
     def _naturals(self, images: Sequence[np.ndarray],
@@ -112,34 +103,10 @@ class Predictor:
         return [self.pipeline.extract_natural(np.asarray(im))
                 for im in images]
 
-    # -- bucketing ---------------------------------------------------------
+    # -- bucketing (delegated: the scheduler is the single truth) ----------
     def bucket_length(self, n: int) -> int:
         """Smallest bucket multiple >= n, capped at the positional table."""
-        b = -(-max(n, 1) // self.bucket) * self.bucket
-        return min(b, self.max_len)
-
-    def _fit_to(self, seq, length: int):
-        if len(seq) == length:
-            return seq
-        if len(seq) < length:
-            return self._fit(seq, length)            # pure zero-pad, no RNG
-        rng = np.random.default_rng((self.drop_seed, len(seq), length))
-        return self._fit(seq, length, rng=rng)       # deterministic drop
-
-    # -- execution ---------------------------------------------------------
-    def _forward(self, tokens, coords, valid) -> np.ndarray:
-        if not self.compiled:
-            with nn.no_grad():
-                return self.model.forward(tokens, coords, valid).data
-        key = (tokens.shape, valid.shape)
-        cm = self._plans.get(key)
-        if cm is None:
-            t0 = time.perf_counter()
-            cm = compile_model(self.model, tokens, coords, valid)
-            self._plans[key] = cm
-            self.stats["plans"] = len(self._plans)
-            self.stats["compile_seconds"] += time.perf_counter() - t0
-        return cm(tokens, coords, valid)
+        return self.scheduler.bucket_length(n)
 
     def warmup(self, lengths: Optional[Sequence[int]] = None,
                batch_sizes: Optional[Sequence[int]] = None) -> dict:
@@ -179,40 +146,20 @@ class Predictor:
                     continue
                 coords = np.zeros((b, length, coord_dim))
                 valid = np.ones((b, length), dtype=bool)
-                self._forward(tokens, coords, valid)
+                self.scheduler._forward(tokens, coords, valid)
                 compiled += 1
         return {"plans": len(self._plans), "compiled": compiled,
                 "compile_seconds": self.stats["compile_seconds"]}
 
-    def _stitch(self, seq, logits_row: np.ndarray) -> np.ndarray:
-        pm = self.model.patch_size
-        k = self.model.out_channels
-        if hasattr(seq, "scatter_to_volume"):
-            maps = logits_row.reshape(len(seq), k, pm, pm, pm)
-            return stitch_volume(seq, K.forward("sigmoid", (), maps[:, 0]))
-        maps = logits_row.reshape(len(seq), k, pm, pm)
-        return stitch_image(seq, K.forward("sigmoid", (), maps))
-
     # -- public API --------------------------------------------------------
     def predict_sequences(self, seqs: Sequence) -> List[np.ndarray]:
-        """Probability maps for pre-extracted natural sequences, in order."""
-        results: List[Optional[np.ndarray]] = [None] * len(seqs)
-        groups: dict = {}
-        for i, seq in enumerate(seqs):
-            groups.setdefault(self.bucket_length(len(seq)), []).append(i)
-        for length, idxs in sorted(groups.items()):
-            for start in range(0, len(idxs), self.max_batch):
-                chunk = idxs[start:start + self.max_batch]
-                fitted = [self._fit_to(seqs[i], length) for i in chunk]
-                self.stats["real_tokens"] += sum(len(seqs[i]) for i in chunk)
-                self.stats["padded_tokens"] += len(chunk) * length
-                tokens, coords, valid = collate_sequences(fitted)
-                logits = self._forward(tokens, coords, valid)
-                for j, i in enumerate(chunk):
-                    results[i] = self._stitch(fitted[j], logits[j])
-                self.stats["batches"] += 1
-        self.stats["images"] += len(seqs)
-        return results  # type: ignore[return-value]
+        """Probability maps for pre-extracted natural sequences, in order.
+
+        A synchronous drain of the work graph: the scheduler forms the
+        micro-batches (buckets ascending, FIFO chunks of ``max_batch``)
+        and runs them to completion.
+        """
+        return self.scheduler.execute(seqs)
 
     def predict_batch(self, images: Sequence[np.ndarray],
                       keys: Optional[Sequence[Hashable]] = None
@@ -225,7 +172,8 @@ class Predictor:
         """Single image/volume -> (K, Z, Z) (or (Z, Z, Z)) probabilities.
 
         Mirrors ``model.predict_mask`` / ``model.predict_volume_probs``
-        through the serving stack.
+        through the serving stack. The single implementation behind both
+        this method and the deprecated module-level :func:`predict_image`.
         """
         return self.predict_batch([image],
                                   None if key is None else [key])[0]
@@ -246,10 +194,21 @@ class Predictor:
 
 
 def predict_image(model, pipeline, image: np.ndarray,
+                  key: Optional[Hashable] = None,
                   **predictor_kwargs) -> np.ndarray:
-    """One-shot convenience wrapper around :class:`Predictor`.
+    """Deprecated one-shot wrapper — use :meth:`Predictor.predict_image`.
 
-    For repeated traffic construct a :class:`Predictor` once — compiled
-    plans and the pipeline cache amortize across calls.
+    Historically this free function and the method drifted (no ``key``
+    support here, and a fresh Predictor per call silently discarded the
+    plan and pipeline caches). It is now a pure shim over the one
+    implementation: construct a :class:`Predictor` and call its
+    :meth:`~Predictor.predict_image`, which amortizes compiled plans and
+    the sequence cache across calls.
     """
-    return Predictor(model, pipeline, **predictor_kwargs).predict_image(image)
+    warnings.warn(
+        "repro.serve.predict_image() is deprecated; construct a Predictor "
+        "once and call predictor.predict_image(image, key=...) so compiled "
+        "plans and the pipeline cache amortize across calls",
+        DeprecationWarning, stacklevel=2)
+    return Predictor(model, pipeline, **predictor_kwargs).predict_image(
+        image, key=key)

@@ -49,7 +49,7 @@ from typing import Callable, Dict, Hashable, List, Optional, Sequence
 import numpy as np
 
 from ..distributed import SimCluster
-from ..pipeline.engine import _content_key as _digest
+from ..pipeline.engine import content_key as _digest
 from .engine import InferenceEngine
 from .metrics import MetricsRegistry
 from .queueing import EngineOverloaded

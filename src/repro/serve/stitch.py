@@ -11,6 +11,11 @@ g·s²-element coordinate maps. Leaves of a partition never overlap, so
 write order is irrelevant and the result is **bit-identical** to the
 reference loop (same upsample/downsample arithmetic per leaf, same
 float64 output), which the test suite asserts.
+
+These stitchers are stage 4 of the inference work graph: the
+:class:`~repro.serve.scheduler.WorkGraphScheduler` calls them once per
+drained sequence node, so every front-end (Predictor drain, engine pump,
+fleet replicas, streaming tiles) scatters through this one implementation.
 """
 
 from __future__ import annotations

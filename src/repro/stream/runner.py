@@ -9,10 +9,12 @@ tile size and ``max_inflight``, never by the scene.
 Two drive modes over unchanged numerics:
 
 * **Predictor mode** (``StreamingRunner(predictor)``) — strictly serial:
-  each macro-tile runs the exact :meth:`Predictor.predict_image` path
-  (plan cache, bucketing, vectorized stitch), so streamed class maps are
-  **bit-identical** to the non-streamed per-tile reference. This is the
-  mode the bench gate pins.
+  each macro-tile expands to a
+  :class:`~repro.serve.scheduler.TileNode` and drains through the shared
+  :class:`~repro.serve.scheduler.WorkGraphScheduler` (the same plan
+  cache, bucketing, and vectorized stitch every other front-end uses),
+  so streamed class maps are **bit-identical** to the non-streamed
+  per-tile reference. This is the mode the bench gate pins.
 * **Engine mode** (``StreamingRunner(engine=engine)``) — overlapped:
   up to ``max_inflight`` tiles are submitted to the
   :class:`~repro.serve.engine.InferenceEngine` (continuous batcher, plan
@@ -219,6 +221,16 @@ class StreamingRunner:
                     tracer.update()
             while inflight:
                 self._retire_oldest(inflight, sink)
+        except EngineOverloaded:
+            # A mid-run rejection (e.g. a slab that can never fit the
+            # queue) must not orphan tiles the engine already accepted:
+            # their futures hold queue slots and their results would be
+            # lost to the sink, breaking resume. Retire everything
+            # in flight — those tiles become durable checkpoints — and
+            # only then surface the overload.
+            while inflight:
+                self._retire_oldest(inflight, sink)
+            raise
         finally:
             if tracer is not None:
                 tracer.__exit__(None, None, None)
@@ -229,8 +241,14 @@ class StreamingRunner:
         return report
 
     def _predict_tile(self, region: np.ndarray, kind: str) -> np.ndarray:
-        if kind == "volume":
-            maps = self.predictor.predict_class_slices(
-                [region[i] for i in range(region.shape[0])])
-            return np.stack(maps)
-        return class_map(self.predictor.predict_image(region))
+        """Predictor mode: macro-tile -> TileNode -> drain -> reduce.
+
+        The tile expands through the shared work-graph scheduler — per
+        slice for a ``(d, Z, Z)`` slab, a single child for an image tile
+        — so the streamed path rides the exact bucketing, plan cache and
+        stitch every other front-end uses.
+        """
+        sched = self.predictor.scheduler
+        node = sched.tile_node(region, kind)
+        sched.drain(node.children)
+        return sched.reduce_tile(node)

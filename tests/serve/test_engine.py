@@ -204,6 +204,30 @@ class TestAdmissionControl:
         assert s["result_cache"]["inflight"] == 0
         assert s["queue"]["total"] == 0
 
+    def test_rejected_volume_unchains_twins_from_foreign_primaries(self):
+        # Regression: a rejected volume used to roll back only its *own*
+        # reservations — a slice that collapsed onto an in-flight primary
+        # from an EARLIER submission left a phantom twin future chained
+        # there, which later resolved into thin air (latency observed for
+        # a request that was never admitted). All-or-nothing admission
+        # must unchain those too.
+        imgs = _images(4)
+        slices = [prepare_image(im, 1)[0] for im in imgs]
+        engine, _ = _sim_engine(_predictor(_model()), max_queue=3)
+        primary = engine.submit(slices[0])       # queued, in flight
+        with pytest.raises(EngineOverloaded):
+            # duplicate of slices[0] chains onto the queued primary; the
+            # 3 fresh slices then overflow (1 occupied + 3 > 3 slots)
+            engine.submit_volume(np.stack([slices[0], slices[1],
+                                           slices[2], slices[3]]))
+        assert not engine._collapsed             # no phantom twins left
+        s = engine.stats()
+        assert s["engine"]["rejected"] == 4      # 3 fresh + 1 chained twin
+        assert s["engine"].get("collapsed", 0) == 0
+        engine.drain()                           # the foreign primary is
+        assert primary.result() is not None      # untouched and completes
+        assert engine.stats()["engine"]["completed"] == 1
+
 
 class TestVolumePath:
     def test_submit_volume_matches_predict_volume(self):

@@ -1,0 +1,138 @@
+"""Unit tests for the work-graph scheduler — the single truth for
+bucketing, micro-batch formation, graph execution, and tile reduce."""
+
+import numpy as np
+
+from repro.data import SyntheticPAIP, generate_ct_volume
+from repro.models.vit import ViTSegmenter
+from repro.pipeline import PatchPipeline
+from repro.serve import Predictor, SequenceNode, class_map
+
+
+def _model(**kw):
+    args = dict(patch_size=4, channels=1, dim=16, depth=1, heads=2,
+                max_len=256, rng=np.random.default_rng(1))
+    args.update(kw)
+    return ViTSegmenter(**args)
+
+
+def _predictor(model=None, **kw):
+    args = dict(max_batch=3, bucket=16)
+    args.update(kw)
+    pipe = PatchPipeline(patch_size=4, split_value=8.0, channels=1,
+                         cache_items=32)
+    return Predictor(model if model is not None else _model(), pipe, **args)
+
+
+def _images(n, res=64):
+    ds = SyntheticPAIP(res, n)
+    return [ds[i].image for i in range(n)]
+
+
+class TestBucketing:
+    def test_bucket_grid_and_cap(self):
+        p = _predictor()
+        s = p.scheduler
+        assert s.bucket_length(1) == 16
+        assert s.bucket_length(16) == 16
+        assert s.bucket_length(17) == 32
+        assert s.bucket_length(10_000) == p.max_len
+
+    def test_predictor_delegates(self):
+        p = _predictor()
+        for n in (1, 15, 16, 17, 200, 9999):
+            assert p.bucket_length(n) == p.scheduler.bucket_length(n)
+
+
+class TestPlanFormation:
+    def _nodes(self, buckets):
+        return [SequenceNode(seq=None, bucket=b, order=i)
+                for i, b in enumerate(buckets)]
+
+    def test_buckets_ascend_fifo_within_chunked_at_max_batch(self):
+        sched = _predictor().scheduler          # max_batch=3
+        micros = sched.plan(self._nodes([32, 16, 32, 16, 16, 32, 16, 48]))
+        assert [m.signature for m in micros] == [
+            (3, 16), (1, 16), (3, 32), (1, 48)]
+        order16 = [n.order for m in micros if m.length == 16
+                   for n in m.nodes]
+        assert order16 == [1, 3, 4, 6]          # FIFO inside the bucket
+
+    def test_max_batch_override(self):
+        sched = _predictor().scheduler
+        micros = sched.plan(self._nodes([16, 16, 16]), max_batch=1)
+        assert [m.signature for m in micros] == [(1, 16)] * 3
+
+    def test_order_stamps_are_monotonic_across_calls(self):
+        p = _predictor()
+        seqs = p._naturals(_images(2), None)
+        a = p.scheduler.sequence_nodes(seqs)
+        b = p.scheduler.sequence_nodes(seqs)
+        stamps = [n.order for n in a + b]
+        assert stamps == sorted(stamps) and len(set(stamps)) == 4
+
+
+class TestGraphExecution:
+    def test_drain_marks_done_and_orders_results(self):
+        p = _predictor()
+        nodes = p.scheduler.sequence_nodes(p._naturals(_images(4), None))
+        assert not any(n.done for n in nodes)
+        results = p.scheduler.drain(nodes)
+        assert all(n.done for n in nodes)
+        for node, res in zip(nodes, results):
+            assert res is node.result
+
+    def test_execute_matches_predict_batch(self):
+        model = _model()
+        imgs = _images(4)
+        ref = _predictor(model).predict_batch(imgs)
+        p = _predictor(model)
+        got = p.scheduler.execute(p._naturals(imgs, None))
+        for a, b in zip(ref, got):
+            np.testing.assert_array_equal(a, b)
+
+    def test_stats_match_legacy_accounting(self):
+        p = _predictor()
+        p.predict_batch(_images(5))
+        s = p.stats
+        assert s["images"] == 5
+        assert s["batches"] >= 2               # 5 images at max_batch=3
+        assert s["plans"] == len(p._plans) > 0
+        assert s["real_tokens"] <= s["padded_tokens"]
+
+
+class TestTileNodes:
+    def test_image_tile_has_one_child(self):
+        p = _predictor()
+        node = p.scheduler.tile_node(_images(1)[0], "image")
+        assert node.kind == "image"
+        assert len(node.children) == 1
+        assert not node.done
+        p.scheduler.drain(node.children)
+        assert node.done
+        np.testing.assert_array_equal(
+            p.scheduler.reduce_tile(node),
+            class_map(node.children[0].result))
+
+    def test_volume_tile_expands_per_slice(self):
+        vol = generate_ct_volume(32, 5, seed=1).volume
+        model = _model()
+        p = _predictor(model)
+        node = p.scheduler.tile_node(vol, "volume")
+        assert node.kind == "volume"
+        assert len(node.children) == vol.shape[0]
+        p.scheduler.drain(node.children)
+        got = p.scheduler.reduce_tile(node)
+        ref = _predictor(model).predict_volume(vol)
+        np.testing.assert_array_equal(got, ref)
+
+
+class TestClassMap:
+    def test_single_channel_threshold(self):
+        probs = np.array([[[0.2, 0.5], [0.7, 0.49]]])
+        np.testing.assert_array_equal(class_map(probs), [[0, 1], [1, 0]])
+        assert class_map(probs).dtype == np.int64
+
+    def test_multichannel_argmax(self):
+        probs = np.random.default_rng(0).random((3, 4, 4))
+        np.testing.assert_array_equal(class_map(probs), probs.argmax(axis=0))

@@ -242,6 +242,89 @@ class TestEngineMode:
         assert not engine.is_running
 
 
+class _CountingSink:
+    """Forwards to a real sink, counting writes per tile index."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.writes = {}
+
+    def completed(self, plan):
+        return self.inner.completed(plan)
+
+    def write(self, tile, arr):
+        self.writes[tile.index] = self.writes.get(tile.index, 0) + 1
+        self.inner.write(tile, arr)
+
+
+class TestOverloadMidRun:
+    """Regressions for the EngineOverloaded retire-then-retry path:
+    tiles the engine already accepted must be neither dropped nor
+    double-submitted when the overload fires mid-run."""
+
+    def test_unadmittable_slab_retires_inflight_before_raising(self):
+        from repro.data import generate_ct_volume
+        from repro.stream import MacroTile
+
+        vol = generate_ct_volume(32, 7, seed=3).volume     # (7, 32, 32)
+        model = _model()
+        plan = plan_volume(vol.shape, slab=2, max_len=256)
+        # an admittable 2-slice slab followed by a 5-slice slab that can
+        # never fit the queue (max_queue=2)
+        plan.tiles = [MacroTile(0, (0,), (2,)), MacroTile(1, (2,), (5,))]
+        engine = InferenceEngine(_predictor(model), max_queue=2,
+                                 result_cache_items=0)
+        sink = MemorySink()
+        with pytest.raises(EngineOverloaded):
+            StreamingRunner(engine=engine, max_inflight=4).run(
+                ArraySource(vol, kind="volume"), plan, sink)
+        # the accepted slab was retired into the sink before the raise —
+        # its future is not orphaned and its checkpoint is durable
+        assert sink.completed(plan) == {0}
+        ref = _predictor(model).predict_volume(vol[:2])
+        np.testing.assert_array_equal(sink.read(plan.tiles[0]), ref)
+        # resume with a deeper queue: only the rejected slab runs
+        deeper = InferenceEngine(_predictor(model), max_queue=8,
+                                 result_cache_items=0)
+        report = StreamingRunner(engine=deeper).run(
+            ArraySource(vol, kind="volume"), plan, sink, resume=True)
+        assert report.tiles_skipped == 1
+        assert report.tiles_run == 1
+        full = _predictor(model).predict_volume(vol)
+        np.testing.assert_array_equal(sink.assemble(plan), full)
+
+    def test_kill_and_resume_mid_overload(self, tmp_path):
+        src, plan = _wsi(), _plan()
+        model = _model()
+        disk = NpyDirectorySink(tmp_path / "run", dtype=np.uint8)
+        counting = _CountingSink(disk)
+        # max_queue=1 forces every write through the overload-retire path;
+        # kill on the fourth write — mid-overload, with a tile in flight
+        engine = InferenceEngine(_predictor(model), max_queue=1,
+                                 result_cache_items=0)
+        with pytest.raises(KeyboardInterrupt):
+            StreamingRunner(engine=engine, max_inflight=4).run(
+                src, plan, _InterruptedSink(counting, 3))
+        done = counting.completed(plan)
+        assert 0 < len(done) < len(plan.tiles)
+        # resume under the same overload pressure with a fresh engine
+        engine2 = InferenceEngine(_predictor(model), max_queue=1,
+                                  result_cache_items=0)
+        report = StreamingRunner(engine=engine2, max_inflight=4).run(
+            src, plan, counting, resume=True)
+        assert report.tiles_skipped == len(done)
+        assert report.tiles_run == len(plan.tiles) - len(done)
+        assert report.backpressure_waits > 0
+        # every tile written exactly once across kill + resume: nothing
+        # dropped, nothing double-submitted
+        assert set(counting.writes) == {t.index for t in plan.tiles}
+        assert all(n == 1 for n in counting.writes.values())
+        # and the artifacts are byte-identical to an uninterrupted run
+        ref = NpyDirectorySink(tmp_path / "ref", dtype=np.uint8)
+        StreamingRunner(_predictor(model)).run(src, plan, ref)
+        assert disk.digest(plan) == ref.digest(plan)
+
+
 class TestVolumeStreaming:
     def test_slab_streaming_matches_per_slab_reference(self):
         vol = np.clip(np.random.default_rng(3).random((7, 32, 32)), 0, 1)
