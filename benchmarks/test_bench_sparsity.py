@@ -1,0 +1,212 @@
+"""Token-sparsity benchmark + CI regression gate (ISSUE 8).
+
+Pins the three contracts of ``repro.sparse`` on a serving-grade model:
+
+* **Exactness** — dense-vs-sparse *digest equivalence*: with sparsity
+  attached but the dense plan chosen (forced, or auto on an all-detail
+  image), outputs are byte-identical to a predictor without the
+  subsystem; memo replays are byte-identical to their first computation.
+* **Decisions** — the cost-model chooser picks dense on all-detail
+  content and short-circuit on background-heavy content, and logs every
+  decision (costs, deltas, counters) in ``stats["sparsity"]``.
+* **Speed** — a 4K² virtual-WSI stream segments ≥ ``SPEEDUP_FLOOR``x
+  faster with the short-circuit than dense, at bounded class-map
+  disagreement. The gate is a same-host ratio (host-speed-independent);
+  the committed baseline additionally applies the standard >2x rule to
+  absolute throughput.
+
+Artifacts: ``BENCH_sparsity.json`` vs ``BENCH_sparsity_baseline.json``.
+"""
+
+import hashlib
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.models import ViTSegmenter
+from repro.perf import write_json_atomic
+from repro.pipeline import PatchPipeline
+from repro.serve import Predictor
+from repro.sparse import SparsityConfig
+from repro.stream import (NpyDirectorySink, StreamingRunner,
+                          VirtualWSISource, plan_scene)
+
+RES = 4096                       # mini-WSI: 16 macro-tiles of 1024²
+TILE = 1024
+SPLIT = 16.0
+MODEL = dict(patch_size=4, channels=1, dim=256, depth=8, heads=4,
+             max_len=1024)
+BUCKET = 64
+MAX_BATCH = 4
+
+SPEEDUP_FLOOR = 1.2              #: dense/sparse wall-clock ratio, same host
+AGREEMENT_FLOOR = 0.90           #: dense-vs-sparse class-map agreement
+N_EQUIVALENCE_IMAGES = 3
+
+HERE = Path(__file__).resolve().parent
+RESULT_PATH = HERE / "BENCH_sparsity.json"
+BASELINE_PATH = HERE / "BENCH_sparsity_baseline.json"
+
+
+def _digest(arr: np.ndarray) -> str:
+    a = np.ascontiguousarray(arr)
+    h = hashlib.blake2b(digest_size=16)
+    h.update(str(a.shape).encode())
+    h.update(a.dtype.str.encode())
+    h.update(a.tobytes())
+    return h.hexdigest()
+
+
+def _predictor(sparsity=None, bucket=BUCKET, **model_overrides):
+    cfg = dict(MODEL)
+    cfg.update(model_overrides)
+    model = ViTSegmenter(rng=np.random.default_rng(0), **cfg).eval()
+    pipe = PatchPipeline(patch_size=4, split_value=SPLIT, channels=1,
+                         cache_items=4)
+    return Predictor(model, pipe, max_batch=MAX_BATCH, bucket=bucket,
+                     sparsity=sparsity)
+
+
+def _corner_image(z=256, seed=0):
+    img = np.full((z, z), 0.25)
+    img[:32, :32] = np.random.default_rng(seed).random((32, 32))
+    return img
+
+
+@pytest.mark.bench
+def test_sparsity_bench_and_regression_gate(tmp_path):
+    wall_t0 = time.perf_counter()
+    result = {"environment": {"cpus": os.cpu_count() or 1,
+                              "machine": platform.machine()},
+              "workload": {"resolution": RES, "tile": TILE, "split": SPLIT,
+                           "bucket": BUCKET, "max_batch": MAX_BATCH,
+                           **MODEL}}
+
+    # ------------------------------------------------------------------
+    # Digest equivalence: exact modes are byte-identical to no-sparsity
+    # ------------------------------------------------------------------
+    source = VirtualWSISource(RES, seed=0, organ=2, tile=TILE)
+    tiles = [source.read_region((0, i * TILE), (TILE, TILE))
+             for i in range(N_EQUIVALENCE_IMAGES)]
+    base = _predictor()
+    forced_dense = _predictor(SparsityConfig(mode="dense"))
+    equivalence = []
+    for i, img in enumerate(tiles):
+        a = _digest(base.predict_image(img))
+        b = _digest(forced_dense.predict_image(img))
+        equivalence.append({"tile": i, "dense": a, "sparse_dense_plan": b,
+                            "equal": a == b})
+    # Memo replay: byte-identical second serving of the same content.
+    memo_pred = _predictor(SparsityConfig(mode="auto"))
+    first = _digest(memo_pred.predict_image(tiles[0]))
+    second = _digest(memo_pred.predict_image(tiles[0]))
+    result["equivalence"] = {
+        "dense_plan": equivalence,
+        "memo_replay": {"first": first, "second": second,
+                        "equal": first == second,
+                        "memo_hits": memo_pred.stats["sparsity"]["memo_hits"]},
+    }
+
+    # ------------------------------------------------------------------
+    # Chooser decisions (small model so the section stays cheap)
+    # ------------------------------------------------------------------
+    # A fine bucket (4) makes any token reduction visible as a cheaper
+    # compiled signature, so the decisions depend only on content.
+    small = dict(dim=32, depth=2, heads=4)
+    detail_pred = _predictor(SparsityConfig(mode="auto"), bucket=4, **small)
+    detail_img = np.random.default_rng(4).random((32, 32))
+    detail_pred.predict_image(detail_img)
+    detail_decision = detail_pred.stats["sparsity"]["last_decision"]
+
+    bg_pred = _predictor(SparsityConfig(mode="auto"), bucket=4, **small)
+    bg_pred.predict_image(_corner_image())
+    bg_decision = bg_pred.stats["sparsity"]["last_decision"]
+    result["chooser"] = {"all_detail": detail_decision,
+                         "background_heavy": bg_decision}
+
+    # ------------------------------------------------------------------
+    # Merge mode: shape-identical outputs, counted reductions
+    # ------------------------------------------------------------------
+    merge_pred = _predictor(SparsityConfig(mode="merge"), bucket=4, **small)
+    dense_small = _predictor(bucket=4, **small)
+    img = _corner_image()
+    m_out = merge_pred.predict_image(img)
+    d_out = dense_small.predict_image(img)
+    ms = merge_pred.stats["sparsity"]
+    result["merge"] = {
+        "tokens_total": ms["tokens_total"],
+        "tokens_merged": ms["tokens_merged"],
+        "shape_identical": m_out.shape == d_out.shape,
+        "max_abs_diff": round(float(np.abs(m_out - d_out).max()), 4),
+    }
+
+    # ------------------------------------------------------------------
+    # Headline: 4K² mini-WSI stream, dense vs short-circuit
+    # ------------------------------------------------------------------
+    plan = plan_scene(source.shape, tile=TILE, order="hilbert",
+                      max_len=MODEL["max_len"])
+    dense_sink = NpyDirectorySink(tmp_path / "dense", dtype=np.uint8)
+    dense_rep = StreamingRunner(_predictor()).run(source, plan, dense_sink)
+    sparse_sink = NpyDirectorySink(tmp_path / "sparse", dtype=np.uint8)
+    sparse_rep = StreamingRunner(
+        _predictor(SparsityConfig(mode="auto"))).run(source, plan,
+                                                     sparse_sink)
+    px = RES * RES
+    agreements = [float((dense_sink.read(t) == sparse_sink.read(t)).mean())
+                  for t in plan.tiles]
+    result["headline"] = {
+        "dense_seconds": round(dense_rep.seconds, 3),
+        "sparse_seconds": round(sparse_rep.seconds, 3),
+        "dense_pixels_per_second": round(px / dense_rep.seconds, 1),
+        "sparse_pixels_per_second": round(px / sparse_rep.seconds, 1),
+        "speedup": round(dense_rep.seconds / sparse_rep.seconds, 3),
+        "min_agreement": round(min(agreements), 4),
+        "mean_agreement": round(float(np.mean(agreements)), 4),
+        "counters": sparse_rep.sparsity,
+    }
+
+    result["real_seconds"] = round(time.perf_counter() - wall_t0, 3)
+    write_json_atomic(RESULT_PATH, result)
+    print("\n" + json.dumps(result, indent=2))
+
+    # -- acceptance gates (ISSUE 8) ------------------------------------
+    for row in result["equivalence"]["dense_plan"]:
+        assert row["equal"], (
+            f"dense-plan output diverged from no-sparsity on tile "
+            f"{row['tile']} — the exact mode is not exact")
+    assert result["equivalence"]["memo_replay"]["equal"]
+    assert result["equivalence"]["memo_replay"]["memo_hits"] == 1
+
+    assert result["chooser"]["all_detail"]["plan"] == "dense"
+    assert result["chooser"]["background_heavy"]["plan"] == "shortcircuit"
+    assert result["chooser"]["background_heavy"]["deltas"]["shortcircuit"] \
+        == 0.0
+
+    assert result["merge"]["tokens_merged"] > 0
+    assert result["merge"]["shape_identical"]
+
+    head = result["headline"]
+    assert head["speedup"] >= SPEEDUP_FLOOR, (
+        f"short-circuit speedup {head['speedup']}x below the "
+        f"{SPEEDUP_FLOOR}x floor on the mini-WSI")
+    assert head["counters"]["plans_shortcircuit"] > 0
+    assert head["counters"]["tokens_skipped"] > 0
+    assert head["min_agreement"] >= AGREEMENT_FLOOR
+
+    # -- regression gate vs committed baseline (>2x rule) ---------------
+    if BASELINE_PATH.exists():
+        baseline = json.loads(BASELINE_PATH.read_text())
+        floor = baseline["headline"]["sparse_pixels_per_second"] / 2.0
+        assert head["sparse_pixels_per_second"] >= floor, (
+            f"sparse throughput regressed >2x: "
+            f"{head['sparse_pixels_per_second']} px/s vs baseline "
+            f"{baseline['headline']['sparse_pixels_per_second']}")
+        ratio_floor = baseline["headline"]["speedup"] / 2.0
+        assert head["speedup"] >= ratio_floor, (
+            f"sparsity speedup regressed >2x: {head['speedup']}x vs "
+            f"baseline {baseline['headline']['speedup']}x")

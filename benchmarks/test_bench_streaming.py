@@ -28,11 +28,13 @@ import numpy as np
 import pytest
 
 from repro.data import generate_ct_volume
+from repro.metrics import dice_score
 from repro.models import ViTSegmenter
 from repro.perf import peak_rss_bytes, write_json_atomic
 from repro.pipeline import PatchPipeline
 from repro.serve import InferenceEngine, Predictor
 from repro.serve.predictor import class_map
+from repro.sparse import SparsityConfig
 from repro.stream import (ArraySource, MemorySink, NpyDirectorySink,
                           StreamingRunner, VirtualWSISource, plan_scene,
                           plan_volume)
@@ -57,6 +59,19 @@ MEM_SCENE_FRACTION = 0.06
 MEM_SCENE_FRACTION_RSS = 0.12
 
 N_IDENTITY_TILES = 10           # sampled bit-identity checks (deterministic)
+
+# -- sparsity fast path (ISSUE 8): 16K² WSI, dense vs short-circuit -------
+# A serving-grade model, where the transformer forward (not Canny
+# preprocessing) dominates the per-tile cost — the regime the fast path
+# targets. The gate is the *ratio* of the two runs on this host, so it is
+# host-speed-independent.
+SPARSE_MODEL = dict(patch_size=4, channels=1, dim=256, depth=12, heads=4,
+                    max_len=1024)
+SPARSE_BUCKET = 64
+SPARSITY_SPEEDUP_FLOOR = 1.3     #: ISSUE 8 acceptance: >= 1.3x pixels/s
+N_SPARSITY_TILES = 10            #: sampled agreement / Dice checks
+SPARSITY_AGREEMENT_FLOOR = 0.90  #: dense-vs-sparse class-map agreement
+SPARSITY_DICE_MARGIN = 2.0       #: |Dice(dense) - Dice(sparse)| vs truth, pp
 
 VOL_SLICES, VOL_RES, VOL_SLAB = 24, 256, 8
 
@@ -184,6 +199,49 @@ def test_streaming_wsi_and_regression_gate(tmp_path):
         "result_cache_hit_rate": round(stats["result_cache"]["hit_rate"], 4),
     }
 
+    # ------------------------------------------------------------------
+    # Sparsity fast path: same 16K² WSI, serving-grade model, dense vs
+    # short-circuit (mode="auto", exact: only zero-detail tokens skip)
+    # ------------------------------------------------------------------
+    def _sparse_predictor(sparsity=None):
+        model = ViTSegmenter(rng=np.random.default_rng(0),
+                             **SPARSE_MODEL).eval()
+        pipe = PatchPipeline(patch_size=4, split_value=SPLIT, channels=1,
+                             cache_items=2)
+        return Predictor(model, pipe, max_batch=MAX_BATCH,
+                         bucket=SPARSE_BUCKET, sparsity=sparsity)
+
+    splan = plan_scene(source.shape, tile=TILE, order="hilbert",
+                       max_len=SPARSE_MODEL["max_len"])
+    dense_sink = NpyDirectorySink(tmp_path / "sp_dense", dtype=np.uint8)
+    dense_rep = StreamingRunner(_sparse_predictor()).run(
+        source, splan, dense_sink)
+    sparse_sink = NpyDirectorySink(tmp_path / "sp_sparse", dtype=np.uint8)
+    sparse_rep = StreamingRunner(
+        _sparse_predictor(SparsityConfig(mode="auto"))).run(
+        source, splan, sparse_sink)
+
+    speedup = dense_rep.seconds / sparse_rep.seconds
+    agreements, dice_deltas = [], []
+    sstep = max(len(splan.tiles) // N_SPARSITY_TILES, 1)
+    for tile in splan.tiles[::sstep][:N_SPARSITY_TILES]:
+        d, s = dense_sink.read(tile), sparse_sink.read(tile)
+        agreements.append(float((d == s).mean()))
+        mask = source.read_mask_region(tile.origin, tile.size) >= 0.5
+        dice_deltas.append(abs(dice_score(d > 0, mask, threshold=None)
+                               - dice_score(s > 0, mask, threshold=None)))
+    result["sparsity"] = {
+        "model": SPARSE_MODEL, "bucket": SPARSE_BUCKET,
+        "dense_seconds": round(dense_rep.seconds, 3),
+        "sparse_seconds": round(sparse_rep.seconds, 3),
+        "dense_pixels_per_second": round(px / dense_rep.seconds, 1),
+        "sparse_pixels_per_second": round(px / sparse_rep.seconds, 1),
+        "speedup": round(speedup, 3),
+        "min_agreement": round(min(agreements), 4),
+        "max_dice_delta": round(max(dice_deltas), 4),
+        "counters": sparse_rep.sparsity,
+    }
+
     result["real_seconds"] = round(time.perf_counter() - wall_t0, 3)
     write_json_atomic(RESULT_PATH, result)
     print("\n" + json.dumps(result, indent=2))
@@ -207,6 +265,20 @@ def test_streaming_wsi_and_regression_gate(tmp_path):
         "killed-and-resumed output differs from the uninterrupted run"
     assert result["resume"]["resumed_skipped"] == kill_after
     assert result["volume_slabs"]["peak_queue_depth"] > 0
+
+    # -- sparsity gates (ISSUE 8) --------------------------------------
+    sp = result["sparsity"]
+    assert sp["speedup"] >= SPARSITY_SPEEDUP_FLOOR, (
+        f"short-circuit speedup {sp['speedup']}x on the 16K² WSI is below "
+        f"the {SPARSITY_SPEEDUP_FLOOR}x acceptance floor")
+    assert sp["counters"]["plans_shortcircuit"] > 0, \
+        "the chooser never picked short-circuit on the WSI workload"
+    assert sp["counters"]["tokens_skipped"] > 0
+    assert sp["min_agreement"] >= SPARSITY_AGREEMENT_FLOOR, (
+        f"dense/sparse class maps agree on only {sp['min_agreement']:.1%} "
+        "of a sampled tile")
+    assert sp["max_dice_delta"] <= SPARSITY_DICE_MARGIN, (
+        f"sparse Dice drifts {sp['max_dice_delta']} from dense vs truth")
 
     # -- regression gate vs committed baseline (>2x slowdown fails) ----
     if BASELINE_PATH.exists():

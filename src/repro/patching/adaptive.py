@@ -188,6 +188,7 @@ class AdaptivePatcher:
             ys=leaves.ys.copy(), xs=leaves.xs.copy(), sizes=leaves.sizes.copy(),
             valid=np.ones(n, dtype=bool),
             image_size=h, patch_size=pm, n_real=n,
+            details=None if leaves.details is None else leaves.details.copy(),
         )
         if cfg.target_length is not None:
             seq = self.fit_length(seq, cfg.target_length)
@@ -232,6 +233,7 @@ class AdaptivePatcher:
                 sizes=seq.sizes[keep], valid=seq.valid[keep],
                 image_size=seq.image_size, patch_size=seq.patch_size,
                 n_real=seq.n_real, n_dropped=n - length,
+                details=None if seq.details is None else seq.details[keep],
             )
         pad = length - n
         c, pm = seq.channels, seq.patch_size
@@ -243,6 +245,8 @@ class AdaptivePatcher:
             valid=np.concatenate([seq.valid, np.zeros(pad, dtype=bool)]),
             image_size=seq.image_size, patch_size=seq.patch_size,
             n_real=seq.n_real, n_dropped=seq.n_dropped,
+            details=None if seq.details is None
+            else np.concatenate([seq.details, np.zeros(pad)]),
         )
 
     def patchify_labels(self, mask: np.ndarray, seq: PatchSequence) -> np.ndarray:

@@ -35,6 +35,11 @@ class PatchSequence:
         Number of real (non-padded) tokens *before* any random drop.
     n_dropped:
         Tokens dropped to reach length L (0 when padding was applied instead).
+    details:
+        Optional (L,) per-token detail score — the quadtree's Eq. 6 region
+        mass that decided not to split the leaf. Zero marks a provably flat
+        patch (the sparsity fast path's short-circuit candidates); padded
+        slots are zero. ``None`` when the producing path did not track it.
     """
 
     patches: np.ndarray
@@ -46,10 +51,13 @@ class PatchSequence:
     patch_size: int
     n_real: int
     n_dropped: int = 0
+    details: Optional[np.ndarray] = None
 
     def __post_init__(self) -> None:
         lengths = {len(self.patches), len(self.ys), len(self.xs),
                    len(self.sizes), len(self.valid)}
+        if self.details is not None:
+            lengths.add(len(self.details))
         if len(lengths) != 1:
             raise ValueError(f"inconsistent sequence field lengths: {lengths}")
 

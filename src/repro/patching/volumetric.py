@@ -43,6 +43,9 @@ class VolumeSequence:
     valid: np.ndarray = field(default=None)  # type: ignore[assignment]
     n_real: int = -1
     n_dropped: int = 0
+    #: Optional (L,) per-token detail score — the octree's region detail
+    #: mass that decided not to split the cube (zero = provably flat).
+    details: Optional[np.ndarray] = None
 
     def __post_init__(self) -> None:
         if self.valid is None:
@@ -51,6 +54,8 @@ class VolumeSequence:
             self.n_real = len(self.patches)
         lengths = {len(self.patches), len(self.zs), len(self.ys),
                    len(self.xs), len(self.sizes), len(self.valid)}
+        if self.details is not None:
+            lengths.add(len(self.details))
         if len(lengths) != 1:
             raise ValueError(f"inconsistent sequence field lengths: {lengths}")
 
@@ -193,7 +198,9 @@ class VolumetricAdaptivePatcher:
                 patches[i] = cube
         seq = VolumeSequence(patches, leaves.zs.copy(), leaves.ys.copy(),
                              leaves.xs.copy(), leaves.sizes.copy(),
-                             v.shape[0], pm)
+                             v.shape[0], pm,
+                             details=None if leaves.details is None
+                             else leaves.details.copy())
         if cfg.target_length is not None:
             seq = self.fit_length(seq, cfg.target_length)
         return seq
@@ -230,6 +237,7 @@ class VolumetricAdaptivePatcher:
                 volume_size=seq.volume_size, patch_size=seq.patch_size,
                 valid=seq.valid[keep], n_real=seq.n_real,
                 n_dropped=n - length,
+                details=None if seq.details is None else seq.details[keep],
             )
         pad = length - n
         pm = seq.patch_size
@@ -242,6 +250,8 @@ class VolumetricAdaptivePatcher:
             volume_size=seq.volume_size, patch_size=seq.patch_size,
             valid=np.concatenate([seq.valid, np.zeros(pad, dtype=bool)]),
             n_real=seq.n_real, n_dropped=seq.n_dropped,
+            details=None if seq.details is None
+            else np.concatenate([seq.details, np.zeros(pad)]),
         )
 
     def patchify_labels(self, mask: np.ndarray, seq: VolumeSequence) -> np.ndarray:

@@ -1,6 +1,11 @@
 """α–β cost model projecting training time to cluster scale.
 
-``seconds/image = training_flops / (W * achieved_flops)  +  allreduce(W)``
+``seconds/image = training_flops / achieved_flops + allreduce(W) / imgs_per_step``
+
+Data parallelism shards *images* across ranks, not the per-image work, so
+per-image compute time does not divide by ``W`` — only the per-step gradient
+all-reduce depends on world size (amortized over the images each rank
+processes per step).
 
 ``achieved_flops`` is *calibrated* from a measured single-process run of this
 repository's own transformer, so projections inherit the real constant factor
@@ -14,7 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from .flops import TransformerConfig, training_flops
+from .flops import TransformerConfig, inference_flops, training_flops
 
 __all__ = ["ClusterSpec", "CostModel"]
 
@@ -59,12 +64,32 @@ class CostModel:
         return self.spec.achieved_flops
 
     # -- components ------------------------------------------------------
-    def compute_seconds_per_image(self, cfg: TransformerConfig,
-                                  world_size: int = 1) -> float:
-        """Pure compute time per image with the batch sharded over ranks."""
-        if world_size < 1:
-            raise ValueError("world_size must be >= 1")
-        return training_flops(cfg) / (self.spec.achieved_flops)
+    def compute_seconds_per_image(self, cfg: TransformerConfig) -> float:
+        """Pure compute time per image.
+
+        Independent of world size: data parallelism shards the *dataset*
+        across ranks, not the per-image work. (The former ``world_size``
+        parameter was accepted, validated, and never used — it is gone; rank
+        effects enter only through :meth:`allreduce_seconds`.)
+        """
+        return training_flops(cfg) / self.spec.achieved_flops
+
+    def inference_seconds(self, cfg: TransformerConfig) -> float:
+        """Forward-only seconds for one sequence of ``cfg.seq_len`` tokens.
+
+        The unit the sparsity plan chooser ranks candidate plans by; calibrate
+        with :meth:`calibrate_inference` against a measured forward so the
+        comparison inherits the substrate's real constant factor.
+        """
+        return inference_flops(cfg) / self.spec.achieved_flops
+
+    def calibrate_inference(self, cfg: TransformerConfig,
+                            measured_seconds: float) -> float:
+        """Fit ``achieved_flops`` from a measured forward pass (stored)."""
+        if measured_seconds <= 0:
+            raise ValueError("measured time must be positive")
+        self.spec.achieved_flops = inference_flops(cfg) / measured_seconds
+        return self.spec.achieved_flops
 
     def allreduce_seconds(self, nbytes: float, world_size: int) -> float:
         """Ring all-reduce time: ``2(W-1)/W * bytes * beta + 2(W-1) * alpha``.
@@ -89,7 +114,7 @@ class CostModel:
         dataset; the per-step all-reduce is amortized over the images each
         rank handles per step.
         """
-        compute = self.compute_seconds_per_image(cfg, world_size)
+        compute = self.compute_seconds_per_image(cfg)
         comm = self.allreduce_seconds(param_bytes, world_size) / max(
             images_per_rank_step, 1)
         return compute + comm

@@ -12,7 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 __all__ = ["TransformerConfig", "encoder_flops", "attention_flops",
-           "training_flops", "activation_bytes", "attention_memory_bytes"]
+           "training_flops", "inference_flops", "activation_bytes",
+           "attention_memory_bytes"]
 
 
 @dataclass(frozen=True)
@@ -45,6 +46,13 @@ def encoder_flops(cfg: TransformerConfig) -> float:
 def training_flops(cfg: TransformerConfig) -> float:
     """Training step ≈ 3x forward (forward + 2x backward)."""
     return 3.0 * encoder_flops(cfg)
+
+
+def inference_flops(cfg: TransformerConfig) -> float:
+    """Forward-only FLOPs for one sequence — the unit the sparsity plan
+    chooser compares: dense vs. short-circuit vs. merged plans differ only
+    in the effective ``seq_len`` this is evaluated at."""
+    return encoder_flops(cfg)
 
 
 def attention_memory_bytes(cfg: TransformerConfig, bytes_per_el: int = 4) -> float:

@@ -262,7 +262,9 @@ class BatchedVolumetricPatcher(VolumetricAdaptivePatcher):
             patches = self._gather(v, leaves, pm)
             seq = VolumeSequence(patches, leaves.zs.copy(), leaves.ys.copy(),
                                  leaves.xs.copy(), leaves.sizes.copy(),
-                                 v.shape[0], pm)
+                                 v.shape[0], pm,
+                                 details=None if leaves.details is None
+                                 else leaves.details.copy())
             if cfg.target_length is not None:
                 seq = self.fit_length(seq, cfg.target_length)
             out.append(seq)

@@ -9,7 +9,7 @@ level-synchronous, with an O(1)-per-node 3-D summed-volume table.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -72,6 +72,9 @@ class OctreeLeaves:
     depths: np.ndarray
     size: int
     nodes_visited: int = 0
+    #: Per-leaf Eq. 6 region detail mass — the summed-volume value that
+    #: decided *not* to split this cube. Zero means provably flat content.
+    details: Optional[np.ndarray] = None
 
     def __len__(self) -> int:
         return len(self.zs)
@@ -95,7 +98,8 @@ class OctreeLeaves:
     def sorted_by_morton(self) -> "OctreeLeaves":
         o = self.morton_order()
         return OctreeLeaves(self.zs[o], self.ys[o], self.xs[o], self.sizes[o],
-                            self.depths[o], self.size, self.nodes_visited)
+                            self.depths[o], self.size, self.nodes_visited,
+                            None if self.details is None else self.details[o])
 
     def covers_exactly(self) -> bool:
         total = int((self.sizes.astype(np.int64) ** 3).sum())
@@ -137,7 +141,7 @@ def build_octree(detail: np.ndarray, split_value: float, max_depth: int,
         raise ValueError("split_value must be non-negative")
 
     ii = _integral3d(detail)
-    leaves = {k: [] for k in ("z", "y", "x", "s", "d")}
+    leaves = {k: [] for k in ("z", "y", "x", "s", "d", "m")}
     zs = np.zeros(1, dtype=np.int64)
     ys = np.zeros(1, dtype=np.int64)
     xs = np.zeros(1, dtype=np.int64)
@@ -154,6 +158,7 @@ def build_octree(detail: np.ndarray, split_value: float, max_depth: int,
             leaves["x"].append(xs[keep])
             leaves["s"].append(np.full(int(keep.sum()), size, dtype=np.int64))
             leaves["d"].append(np.full(int(keep.sum()), depth, dtype=np.int64))
+            leaves["m"].append(sums[keep])
         if split.any():
             sz, sy, sx = zs[split], ys[split], xs[split]
             half = size // 2
@@ -168,7 +173,8 @@ def build_octree(detail: np.ndarray, split_value: float, max_depth: int,
 
     return OctreeLeaves(np.concatenate(leaves["z"]), np.concatenate(leaves["y"]),
                         np.concatenate(leaves["x"]), np.concatenate(leaves["s"]),
-                        np.concatenate(leaves["d"]), n, visited)
+                        np.concatenate(leaves["d"]), n, visited,
+                        np.concatenate(leaves["m"]))
 
 
 def _region_sums3d_batch(ii, bs, zs, ys, xs, s):
@@ -243,7 +249,7 @@ def octree_frontier_batch(ii: np.ndarray, split_value: float, max_depth: int,
     b = ii.shape[0]
     n = ii.shape[1] - 1
 
-    leaves = {k: [] for k in ("b", "z", "y", "x", "s", "d")}
+    leaves = {k: [] for k in ("b", "z", "y", "x", "s", "d", "m")}
     bs = np.arange(b, dtype=np.int64)
     zs = np.zeros(b, dtype=np.int64)
     ys = np.zeros(b, dtype=np.int64)
@@ -263,6 +269,7 @@ def octree_frontier_batch(ii: np.ndarray, split_value: float, max_depth: int,
             leaves["x"].append(xs[keep])
             leaves["s"].append(np.full(int(keep.sum()), size, dtype=np.int64))
             leaves["d"].append(np.full(int(keep.sum()), depth, dtype=np.int64))
+            leaves["m"].append(sums[keep])
         if split.any():
             sb, sz, sy, sx = bs[split], zs[split], ys[split], xs[split]
             half = size // 2
@@ -283,10 +290,11 @@ def octree_frontier_batch(ii: np.ndarray, split_value: float, max_depth: int,
     all_xs = np.concatenate(leaves["x"])
     all_sizes = np.concatenate(leaves["s"])
     all_depths = np.concatenate(leaves["d"])
+    all_details = np.concatenate(leaves["m"])
     out = []
     for i in range(b):
         idx = np.flatnonzero(all_bs == i)  # preserves level-major build order
         out.append(OctreeLeaves(all_zs[idx], all_ys[idx], all_xs[idx],
                                 all_sizes[idx], all_depths[idx], n,
-                                int(visited[i])))
+                                int(visited[i]), all_details[idx]))
     return out

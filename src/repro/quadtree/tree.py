@@ -17,7 +17,7 @@ paper claims (§IV-G.3).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -57,6 +57,13 @@ class QuadtreeLeaves:
         Image side length the tree partitions.
     nodes_visited:
         Total nodes examined during the build (leaves + interior).
+    details:
+        Per-leaf detail mass (the Eq. 6 region sum that decided *not* to
+        split the leaf). Zero means the leaf is provably flat under the
+        detail criterion — the signal the token-sparsity fast path keys
+        on. ``None`` when the producer did not retain the sums (e.g.
+        after :func:`balance_2to1`, which splits leaves without access
+        to the detail map).
     """
 
     ys: np.ndarray
@@ -65,6 +72,7 @@ class QuadtreeLeaves:
     depths: np.ndarray
     size: int
     nodes_visited: int = 0
+    details: Optional[np.ndarray] = None
 
     def __len__(self) -> int:
         return len(self.ys)
@@ -95,7 +103,9 @@ class QuadtreeLeaves:
 
     def reordered(self, order: np.ndarray) -> "QuadtreeLeaves":
         return QuadtreeLeaves(self.ys[order], self.xs[order], self.sizes[order],
-                              self.depths[order], self.size, self.nodes_visited)
+                              self.depths[order], self.size, self.nodes_visited,
+                              None if self.details is None
+                              else self.details[order])
 
     def sorted_by_morton(self) -> "QuadtreeLeaves":
         return self.reordered(self.morton_order())
@@ -162,7 +172,7 @@ def build_quadtree(detail: np.ndarray, split_value: float, max_depth: int,
         raise ValueError("split_value must be non-negative")
 
     ii = _integral(detail)
-    leaf_ys, leaf_xs, leaf_sizes, leaf_depths = [], [], [], []
+    leaf_ys, leaf_xs, leaf_sizes, leaf_depths, leaf_details = [], [], [], [], []
     ys = np.zeros(1, dtype=np.int64)
     xs = np.zeros(1, dtype=np.int64)
     size = z
@@ -179,6 +189,7 @@ def build_quadtree(detail: np.ndarray, split_value: float, max_depth: int,
             leaf_xs.append(xs[keep])
             leaf_sizes.append(np.full(int(keep.sum()), size, dtype=np.int64))
             leaf_depths.append(np.full(int(keep.sum()), depth, dtype=np.int64))
+            leaf_details.append(sums[keep])
         if split.any():
             sy, sx = ys[split], xs[split]
             half = size // 2
@@ -193,11 +204,11 @@ def build_quadtree(detail: np.ndarray, split_value: float, max_depth: int,
     if leaf_ys:
         out = QuadtreeLeaves(np.concatenate(leaf_ys), np.concatenate(leaf_xs),
                              np.concatenate(leaf_sizes), np.concatenate(leaf_depths),
-                             z, visited)
+                             z, visited, np.concatenate(leaf_details))
     else:  # pragma: no cover - unreachable: loop always emits leaves
         out = QuadtreeLeaves(np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64),
                              np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64),
-                             z, visited)
+                             z, visited, np.zeros(0, dtype=np.float64))
     return out
 
 
@@ -244,7 +255,8 @@ def build_quadtree_batch(details: Sequence[np.ndarray], split_value: float,
     for i, d in enumerate(maps):
         ii[i] = _integral(d)
 
-    leaf_bs, leaf_ys, leaf_xs, leaf_sizes, leaf_depths = [], [], [], [], []
+    leaf_bs, leaf_ys, leaf_xs, leaf_sizes, leaf_depths, leaf_details = \
+        [], [], [], [], [], []
     bs = np.arange(b, dtype=np.int64)
     ys = np.zeros(b, dtype=np.int64)
     xs = np.zeros(b, dtype=np.int64)
@@ -263,6 +275,7 @@ def build_quadtree_batch(details: Sequence[np.ndarray], split_value: float,
             leaf_xs.append(xs[keep])
             leaf_sizes.append(np.full(int(keep.sum()), size, dtype=np.int64))
             leaf_depths.append(np.full(int(keep.sum()), depth, dtype=np.int64))
+            leaf_details.append(sums[keep])
         if split.any():
             sb, sy, sx = bs[split], ys[split], xs[split]
             half = size // 2
@@ -280,11 +293,13 @@ def build_quadtree_batch(details: Sequence[np.ndarray], split_value: float,
     all_xs = np.concatenate(leaf_xs)
     all_sizes = np.concatenate(leaf_sizes)
     all_depths = np.concatenate(leaf_depths)
+    all_details = np.concatenate(leaf_details)
     out = []
     for i in range(b):
         idx = np.flatnonzero(all_bs == i)  # preserves level-major build order
         out.append(QuadtreeLeaves(all_ys[idx], all_xs[idx], all_sizes[idx],
-                                  all_depths[idx], z, int(visited[i])))
+                                  all_depths[idx], z, int(visited[i]),
+                                  all_details[idx]))
     return out
 
 

@@ -34,6 +34,7 @@ from typing import Hashable, List, Optional, Sequence
 
 import numpy as np
 
+from ..sparse import SparseRuntime, SparsityConfig
 from ..train.volumetric import predict_volume_batched
 from .scheduler import WorkGraphScheduler, class_map
 
@@ -63,6 +64,12 @@ class Predictor:
         ``False`` runs the same bucketing/batching through the eager
         tape — the baseline the compiled path is benchmarked and
         bit-compared against.
+    sparsity:
+        Optional :class:`~repro.sparse.SparsityConfig` enabling the
+        token-sparsity fast path (memo replay, background short-circuit,
+        token merging — steered by the cost-model plan chooser). ``None``
+        (default) leaves the dense path byte-for-byte untouched.
+        Decisions and cache traffic surface as ``stats["sparsity"]``.
 
     Examples
     --------
@@ -73,7 +80,8 @@ class Predictor:
     """
 
     def __init__(self, model, pipeline, *, max_batch: int = 8,
-                 bucket: int = 32, compiled: bool = True, drop_seed: int = 0):
+                 bucket: int = 32, compiled: bool = True, drop_seed: int = 0,
+                 sparsity: Optional[SparsityConfig] = None):
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
         if bucket < 1:
@@ -89,6 +97,10 @@ class Predictor:
                       "compile_seconds": 0.0, "padded_tokens": 0,
                       "real_tokens": 0}
         self.scheduler = WorkGraphScheduler(self)
+        self.sparsity = None
+        if sparsity is not None and sparsity.mode != "off":
+            self.sparsity = SparseRuntime(self, sparsity)
+            self.stats["sparsity"] = self.sparsity.stats
 
     @property
     def _plans(self) -> dict:

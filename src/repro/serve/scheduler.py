@@ -84,6 +84,12 @@ class SequenceNode:
     order: int
     result: Optional[np.ndarray] = None
     done: bool = False
+    #: Sparse execution plan (``repro.sparse.SparsePlan``) when the
+    #: sparsity runtime reduced this node — ``seq`` is then the *reduced*
+    #: sequence and the plan holds the full one plus the row map back.
+    sparse: Optional[object] = None
+    #: Exact-byte sequence digest for memo population (sparsity only).
+    memo_key: Optional[str] = None
 
 
 @dataclass
@@ -159,9 +165,23 @@ class WorkGraphScheduler:
 
     # -- node construction -------------------------------------------------
     def sequence_nodes(self, seqs: Sequence) -> List[SequenceNode]:
-        """Wrap natural sequences as graph nodes (bucketed, order-stamped)."""
-        return [SequenceNode(seq=s, bucket=self.bucket_length(len(s)),
-                             order=next(self._order)) for s in seqs]
+        """Wrap natural sequences as graph nodes (bucketed, order-stamped).
+
+        With a sparsity runtime attached, each node is offered to it
+        first: a memo replay completes the node outright, and a sparse
+        plan swaps in the reduced sequence — so the bucket (and with it
+        the micro-batch signature) reflects what actually runs.
+        """
+        rt = getattr(self.predictor, "sparsity", None)
+        nodes = []
+        for s in seqs:
+            node = SequenceNode(seq=s, bucket=0, order=next(self._order))
+            if rt is not None:
+                rt.prepare(node)
+            if not node.done:
+                node.bucket = self.bucket_length(len(node.seq))
+            nodes.append(node)
+        return nodes
 
     def tile_node(self, region: np.ndarray, kind: str,
                   keys: Optional[Sequence] = None) -> TileNode:
@@ -195,6 +215,8 @@ class WorkGraphScheduler:
         mb = max_batch if max_batch is not None else self.predictor.max_batch
         groups: dict = {}
         for node in nodes:
+            if node.done:                    # memo-replayed: nothing to run
+                continue
             groups.setdefault(node.bucket, []).append(node)
         out: List[MicroBatch] = []
         for length, grp in sorted(groups.items()):
@@ -238,13 +260,22 @@ class WorkGraphScheduler:
         results are bit-identical to the pre-refactor paths.
         """
         stats = self.predictor.stats
+        rt = getattr(self.predictor, "sparsity", None)
         fitted = [self._fit_to(n.seq, micro.length) for n in micro.nodes]
         stats["real_tokens"] += sum(len(n.seq) for n in micro.nodes)
         stats["padded_tokens"] += len(micro.nodes) * micro.length
         tokens, coords, valid = collate_sequences(fitted)
         logits = self._forward(tokens, coords, valid)
         for j, node in enumerate(micro.nodes):
-            node.result = self._stitch(fitted[j], logits[j])
+            if node.sparse is not None:
+                maps = rt.reconstruct(node, logits[j])
+                node.result = self._stitch(node.sparse.full_seq, maps)
+            else:
+                node.result = self._stitch(fitted[j], logits[j])
+                if rt is not None:
+                    rt.seed_dense(node, logits[j])
+            if rt is not None:
+                rt.finish(node, node.result)
             node.done = True
         stats["batches"] += 1
         return micro

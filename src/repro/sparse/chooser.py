@@ -1,0 +1,118 @@
+"""The cost-model-driven plan chooser.
+
+For each natural sequence the scheduler asks: run it dense, short-circuit
+its background tokens, or merge its uniform runs? The chooser ranks the
+candidates by *predicted* forward seconds — the calibrated
+:class:`~repro.perf.costmodel.CostModel` evaluated at each plan's padded
+bucket length — and picks the cheapest whose predicted quality delta fits
+the configured budget:
+
+* dense: delta 0 by definition;
+* short-circuit: the routed-around detail mass as a fraction of the
+  sequence's total detail mass — exactly 0 when every skipped token is
+  provably flat (zero Eq. 6 edge mass), which is all the default
+  ``detail_threshold = 0`` admits;
+* merge: the merged-token fraction — never 0, so lossy merging needs an
+  explicit ``epsilon > 0`` or a forced ``mode="merge"``.
+
+Ties go to the earlier entry of (dense, short-circuit, merge): a plan
+must be *strictly* cheaper than dense to displace it, so an all-detail
+sequence (no background, no savings) always runs dense.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from ..perf.costmodel import CostModel
+from ..perf.flops import TransformerConfig
+from .config import SparsityConfig
+
+__all__ = ["PlanChoice", "PlanChooser"]
+
+
+@dataclass
+class PlanChoice:
+    """The chooser's verdict for one sequence (logged in stats)."""
+
+    plan: str                       #: "dense" | "shortcircuit" | "merge"
+    est_seconds: Dict[str, float]   #: predicted seconds per candidate
+    deltas: Dict[str, float]        #: predicted quality delta per candidate
+    n_tokens: int
+    n_background: int
+    n_merged: int
+
+
+class PlanChooser:
+    """Ranks dense / short-circuit / merge plans for one model shape."""
+
+    def __init__(self, model, config: SparsityConfig,
+                 cost_model: Optional[CostModel] = None):
+        self.config = config
+        self.cost_model = cost_model or CostModel()
+        backbone = model.backbone
+        layer = next(iter(backbone.encoder.layers))
+        self._dim = backbone.dim
+        self._depth = backbone.depth
+        self._heads = int(layer.attn.heads)
+        self._mlp_ratio = layer.mlp.fc1.out_features / backbone.dim
+
+    def seconds_for_length(self, n_tokens: int,
+                           bucket_length: Callable[[int], int]) -> float:
+        """Predicted forward seconds at ``n_tokens``' padded bucket.
+
+        Buckets, not raw lengths: two plans whose reduced lengths land in
+        the same bucket execute the same compiled signature, and the
+        chooser must see them as equal cost.
+        """
+        cfg = TransformerConfig(bucket_length(n_tokens), self._dim,
+                                self._depth, heads=int(self._heads),
+                                mlp_ratio=self._mlp_ratio)
+        return self.cost_model.inference_seconds(cfg)
+
+    def calibrate(self, n_tokens: int, bucket_length: Callable[[int], int],
+                  measured_seconds: float) -> float:
+        """Fit the cost model to one measured forward at ``n_tokens``."""
+        cfg = TransformerConfig(bucket_length(n_tokens), self._dim,
+                                self._depth, heads=int(self._heads),
+                                mlp_ratio=self._mlp_ratio)
+        return self.cost_model.calibrate_inference(cfg, measured_seconds)
+
+    def choose(self, n_tokens: int, n_background: int, bg_detail_mass: float,
+               total_detail_mass: float, n_merged: int,
+               bucket_length: Callable[[int], int]) -> PlanChoice:
+        """Pick the execution plan for one sequence.
+
+        Parameters describe the candidates' effects: ``n_background``
+        tokens would leave the sequence under short-circuit (carrying
+        ``bg_detail_mass`` of the sequence's ``total_detail_mass``), and
+        ``n_merged`` tokens would collapse onto representatives under
+        merge. Forced modes bypass the ranking but still degrade to dense
+        when their plan offers no reduction.
+        """
+        est = {"dense": self.seconds_for_length(n_tokens, bucket_length)}
+        deltas = {"dense": 0.0}
+        if n_background > 0:
+            est["shortcircuit"] = self.seconds_for_length(
+                n_tokens - n_background, bucket_length)
+            deltas["shortcircuit"] = (bg_detail_mass / total_detail_mass
+                                      if total_detail_mass > 0 else 0.0)
+        if n_merged > 0:
+            est["merge"] = self.seconds_for_length(
+                n_tokens - n_merged, bucket_length)
+            deltas["merge"] = n_merged / max(n_tokens, 1)
+
+        mode = self.config.mode
+        if mode in ("dense", "shortcircuit", "merge"):
+            plan = mode if mode in est else "dense"
+        else:                                      # auto: cheapest in budget
+            plan = "dense"
+            for cand in ("shortcircuit", "merge"):
+                if cand not in est or deltas[cand] > self.config.epsilon:
+                    continue
+                if est[cand] < est[plan]:
+                    plan = cand
+        return PlanChoice(plan=plan, est_seconds=est, deltas=deltas,
+                          n_tokens=n_tokens, n_background=n_background,
+                          n_merged=n_merged)

@@ -1,0 +1,66 @@
+"""Content digests for tokens and sequences.
+
+Two granularities:
+
+* **Token digests** quantize each token's content to an integer grid and
+  view the rows as opaque fixed-width byte strings — equal digests mean
+  "near-identical content" at the configured quantization. These key the
+  background logits table and define merge runs.
+* **Sequence digests** hash the *exact* bytes of everything that
+  determines a sequence's model output (tokens, coords, validity, leaf
+  geometry). Equal digests mean bitwise-identical inputs, so the memo
+  built on them replays outputs without any approximation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+__all__ = ["quantize_tokens", "token_digests", "sequence_digest"]
+
+
+def quantize_tokens(tokens: np.ndarray, quantize: int) -> np.ndarray:
+    """Quantize (L, D) token content to ``quantize`` integer levels.
+
+    Inputs live in [0, 1] (image intensities); values outside are clipped
+    by the cast only in the sense of rounding — the grid is uniform with
+    step ``1/quantize``. ``quantize = 0`` returns the exact float view
+    (digests then collapse only bitwise-identical tokens).
+    """
+    t = np.asarray(tokens, dtype=np.float64)
+    if quantize <= 0:
+        return t
+    return np.rint(t * quantize).astype(np.int32)
+
+
+def token_digests(tokens: np.ndarray, quantize: int) -> np.ndarray:
+    """(L,) array of fixed-width byte strings, one per token row.
+
+    Rows with equal digests have identical quantized content. The void
+    view makes whole-row equality a single vectorized comparison, and
+    ``digests[i].tobytes()`` is a stable dict key.
+    """
+    q = np.ascontiguousarray(quantize_tokens(tokens, quantize))
+    return q.view((np.void, q.dtype.itemsize * q.shape[1]))[:, 0]
+
+
+def sequence_digest(seq) -> str:
+    """Hex blake2b over the exact bytes of a sequence's model inputs.
+
+    Covers token content, normalized coords, the validity mask and leaf
+    sizes — everything the forward pass and the stitch consume — plus the
+    geometry scalars, so two sequences share a digest only when the model
+    would see bitwise-identical inputs and scatter to identical planes.
+    """
+    h = hashlib.blake2b(digest_size=16)
+    size = getattr(seq, "image_size", None)
+    if size is None:
+        size = seq.volume_size
+    h.update(np.int64([size, seq.patch_size, len(seq)]).tobytes())
+    for arr in (seq.tokens(), seq.coords(), seq.valid, seq.sizes):
+        a = np.ascontiguousarray(arr)
+        h.update(str(a.dtype).encode())
+        h.update(a.tobytes())
+    return h.hexdigest()

@@ -66,6 +66,10 @@ class StreamReport:
     working_set_bytes: int       #: planner's per-tile estimate
     scene_bytes: int             #: full-scene float64 cost (avoided)
     peak_traced_bytes: Optional[int] = None   #: measured (track_memory=True)
+    #: Sparsity fast-path counters accrued by *this run* (plan counts,
+    #: tokens skipped/merged, cache traffic) — ``None`` when the serving
+    #: predictor has no sparsity runtime attached.
+    sparsity: Optional[dict] = None
 
     def to_dict(self) -> dict:
         return asdict(self)
@@ -101,6 +105,18 @@ class StreamingRunner:
         self.max_inflight = max_inflight if engine is not None else 1
         self.lane = lane
         self.track_memory = track_memory
+
+    # -- sparsity accounting ----------------------------------------------
+    def _sparsity_counters(self) -> Optional[dict]:
+        """Flat numeric snapshot of the serving predictor's sparsity stats."""
+        owner = self.predictor if self.predictor is not None \
+            else self.engine.predictor
+        rt = getattr(owner, "sparsity", None)
+        if rt is None:
+            return None
+        flat = {k: v for k, v in rt.stats.items() if isinstance(v, int)}
+        flat.update({f"plans_{k}": v for k, v in rt.stats["plans"].items()})
+        return flat
 
     # -- engine-mode plumbing ---------------------------------------------
     def _resolve(self, fut: Future):
@@ -193,6 +209,7 @@ class StreamingRunner:
             working_set_bytes=plan.working_set_bytes(),
             scene_bytes=plan.scene_bytes)
         inflight: deque = deque()
+        sparse_before = self._sparsity_counters()
         tracer = TracedMemory() if self.track_memory else None
         t0 = time.perf_counter()
         if tracer is not None:
@@ -236,6 +253,11 @@ class StreamingRunner:
                 tracer.__exit__(None, None, None)
                 report.peak_traced_bytes = tracer.peak_bytes
         report.seconds = time.perf_counter() - t0
+        sparse_after = self._sparsity_counters()
+        if sparse_after is not None:
+            before = sparse_before or {}
+            report.sparsity = {k: v - before.get(k, 0)
+                               for k, v in sparse_after.items()}
         if hasattr(sink, "finalize"):
             sink.finalize(plan, report.to_dict())
         return report

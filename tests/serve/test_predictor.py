@@ -184,3 +184,34 @@ class TestPredictor:
             Predictor(_model(), _pipe(), max_batch=0)
         with pytest.raises(ValueError):
             Predictor(_model(), _pipe(), bucket=0)
+
+
+class TestDeprecatedFreeFunction:
+    """The free ``predict_image`` is a pure shim (ISSUE 8 satellite)."""
+
+    def _call(self):
+        import warnings
+        img = prepare_image(_images(1)[0], 1).transpose(1, 2, 0)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            probs = predict_image(_model(), _pipe(), img, bucket=16)
+        return probs, [w for w in caught
+                       if issubclass(w.category, DeprecationWarning)]
+
+    def test_deprecation_warning_fires_exactly_once(self):
+        probs, warns = self._call()
+        assert len(warns) == 1
+        assert "deprecated" in str(warns[0].message)
+        assert "Predictor" in str(warns[0].message)
+        # stacklevel=2: the warning points at the caller, not the shim.
+        assert warns[0].filename == __file__
+        assert probs.shape[0] == 1
+
+    def test_shim_matches_the_method(self):
+        import warnings
+        img = prepare_image(_images(1)[0], 1).transpose(1, 2, 0)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            a = predict_image(_model(), _pipe(), img, bucket=16)
+        b = Predictor(_model(), _pipe(), bucket=16).predict_image(img)
+        np.testing.assert_array_equal(a, b)

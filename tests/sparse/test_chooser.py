@@ -1,0 +1,100 @@
+"""Tests for the cost-model plan chooser (ISSUE 8 decision policy)."""
+
+import numpy as np
+import pytest
+
+from repro.models import ViTSegmenter
+from repro.perf import CostModel, TransformerConfig
+from repro.sparse import PlanChooser, SparsityConfig
+
+
+def _model():
+    return ViTSegmenter(patch_size=4, channels=1, dim=16, depth=1, heads=2,
+                        max_len=256, rng=np.random.default_rng(1))
+
+
+def _bucket(bucket=4, cap=256):
+    return lambda n: min(-(-max(n, 1) // bucket) * bucket, cap)
+
+
+def _chooser(**cfg):
+    return PlanChooser(_model(), SparsityConfig(**cfg))
+
+
+class TestDerivedShape:
+    def test_cost_matches_perf_module_directly(self):
+        ch = _chooser()
+        cfg = TransformerConfig(seq_len=8, dim=16, depth=1, heads=2,
+                                mlp_ratio=2.0)        # the model's fc1/dim
+        assert ch.seconds_for_length(8, _bucket()) == \
+            pytest.approx(CostModel().inference_seconds(cfg))
+
+    def test_bucketed_lengths_cost_the_same(self):
+        ch = _chooser()
+        b = _bucket(bucket=16)
+        assert ch.seconds_for_length(3, b) == ch.seconds_for_length(16, b)
+        assert ch.seconds_for_length(17, b) > ch.seconds_for_length(16, b)
+
+
+class TestAutoPolicy:
+    def test_all_detail_sequence_runs_dense(self):
+        c = _chooser().choose(40, 0, 0.0, 0.0, 0, _bucket())
+        assert c.plan == "dense"
+        assert set(c.est_seconds) == {"dense"}
+
+    def test_all_background_sequence_shortcircuits(self):
+        # 39 of 40 tokens flat (the anchor token stays): free savings.
+        c = _chooser().choose(40, 39, 0.0, 5.0, 0, _bucket())
+        assert c.plan == "shortcircuit"
+        assert c.deltas["shortcircuit"] == 0.0
+        assert c.est_seconds["shortcircuit"] < c.est_seconds["dense"]
+
+    def test_same_bucket_savings_tie_goes_to_dense(self):
+        # Removing 2 of 40 tokens lands in the same 64-bucket: no cheaper.
+        c = _chooser().choose(40, 2, 0.0, 5.0, 0, _bucket(bucket=64))
+        assert c.plan == "dense"
+
+    def test_nonzero_delta_needs_epsilon(self):
+        # Skipped tokens carry 10% of the detail mass: blocked at eps=0,
+        # admitted once the budget covers it.
+        args = (40, 30, 0.5, 5.0, 0)
+        assert _chooser().choose(*args, _bucket()).plan == "dense"
+        c = _chooser(epsilon=0.2).choose(*args, _bucket())
+        assert c.plan == "shortcircuit"
+        assert c.deltas["shortcircuit"] == pytest.approx(0.1)
+
+    def test_merge_is_lossy_and_off_by_default(self):
+        c = _chooser().choose(40, 0, 0.0, 0.0, 20, _bucket())
+        assert c.plan == "dense"
+        assert c.deltas["merge"] == pytest.approx(0.5)
+        c = _chooser(epsilon=0.5).choose(40, 0, 0.0, 0.0, 20, _bucket())
+        assert c.plan == "merge"
+
+    def test_cheapest_in_budget_wins(self):
+        # Both candidates free (zero delta not possible for merge — use a
+        # big epsilon) — the larger reduction wins.
+        c = _chooser(epsilon=1.0).choose(40, 10, 0.0, 5.0, 30, _bucket())
+        assert c.plan == "merge"
+        c = _chooser(epsilon=1.0).choose(40, 30, 0.0, 5.0, 10, _bucket())
+        assert c.plan == "shortcircuit"
+
+
+class TestForcedModes:
+    def test_forced_shortcircuit_degrades_without_background(self):
+        assert _chooser(mode="shortcircuit").choose(
+            40, 0, 0.0, 0.0, 0, _bucket()).plan == "dense"
+
+    def test_forced_merge_ignores_delta(self):
+        assert _chooser(mode="merge").choose(
+            40, 0, 0.0, 0.0, 20, _bucket()).plan == "merge"
+
+    def test_forced_dense_ignores_savings(self):
+        assert _chooser(mode="dense").choose(
+            40, 39, 0.0, 5.0, 0, _bucket()).plan == "dense"
+
+
+class TestCalibration:
+    def test_calibrate_pins_prediction_to_measurement(self):
+        ch = _chooser()
+        ch.calibrate(40, _bucket(), measured_seconds=0.123)
+        assert ch.seconds_for_length(40, _bucket()) == pytest.approx(0.123)

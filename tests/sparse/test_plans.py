@@ -1,0 +1,169 @@
+"""Tests for sparse execution plans: masks, row maps, reductions."""
+
+import numpy as np
+
+from repro.patching import (AdaptivePatcher, UniformPatcher,
+                            VolumetricAdaptivePatcher)
+from repro.sparse import (background_mask, merge_plan, shortcircuit_plan,
+                          take_tokens, token_digests)
+
+
+def corner_image(z=64, seed=0):
+    img = np.full((z, z), 0.25)
+    img[:8, :8] = np.random.default_rng(seed).random((8, 8))
+    return img
+
+
+def corner_seq(z=64, seed=0, split=8.0):
+    return AdaptivePatcher(patch_size=4, split_value=split)(
+        corner_image(z, seed))
+
+
+class TestBackgroundMask:
+    def test_none_without_detail_metadata(self):
+        seq = UniformPatcher(4)(corner_image())
+        assert seq.details is None
+        assert background_mask(seq, 0.0) is None
+
+    def test_quadtree_flat_leaves_are_background(self):
+        seq = corner_seq()
+        bg = background_mask(seq, 0.0)
+        assert bg is not None and bg.any() and not bg.all()
+        # The mask is exactly the zero-detail leaves — and those leaves
+        # really are flat content.
+        np.testing.assert_array_equal(bg, seq.details == 0.0)
+        for i in np.flatnonzero(bg):
+            assert float(np.ptp(seq.patches[i])) == 0.0
+
+    def test_threshold_widens_the_mask(self):
+        seq = corner_seq()
+        assert background_mask(seq, 1e9).sum() >= \
+            background_mask(seq, 0.0).sum()
+
+    def test_respects_validity(self):
+        seq = corner_seq()
+        padded = AdaptivePatcher(patch_size=4).fit_length(seq, len(seq) + 5)
+        bg = background_mask(padded, 0.0)
+        assert not bg[~padded.valid].any()
+
+
+class TestTakeTokens:
+    def test_subset_is_well_formed(self):
+        seq = corner_seq()
+        idx = np.arange(len(seq))[::2]
+        sub = take_tokens(seq, idx)
+        assert len(sub) == len(idx)
+        np.testing.assert_array_equal(sub.ys, seq.ys[idx])
+        np.testing.assert_array_equal(sub.sizes, seq.sizes[idx])
+        np.testing.assert_array_equal(sub.details, seq.details[idx])
+        np.testing.assert_array_equal(sub.tokens(), seq.tokens()[idx])
+        assert sub.image_size == seq.image_size
+
+    def test_volumetric_subset(self):
+        vol = np.full((16, 16, 16), 0.3)
+        vol[:4, :4, :4] = np.random.default_rng(0).random((4, 4, 4))
+        seq = VolumetricAdaptivePatcher(patch_size=4, split_value=2.0)(vol)
+        assert seq.details is not None
+        idx = np.arange(len(seq))[1::2]
+        sub = take_tokens(seq, idx)
+        np.testing.assert_array_equal(sub.zs, seq.zs[idx])
+        np.testing.assert_array_equal(sub.details, seq.details[idx])
+        assert sub.volume_size == seq.volume_size
+
+
+class TestShortcircuitPlan:
+    def test_warm_table_routes_all_background_to_minus_one(self):
+        seq = corner_seq()
+        digests = token_digests(seq.tokens(), 256)
+        bg = background_mask(seq, 0.0)
+        plan = shortcircuit_plan(seq, digests, bg, known=bg.copy())
+        assert plan.kind == "shortcircuit"
+        assert plan.n_skipped == int(bg.sum()) and plan.n_merged == 0
+        assert len(plan.seeds) == 0                  # nothing new to seed
+        assert len(plan.reduced_seq) == len(seq) - plan.n_skipped
+        np.testing.assert_array_equal(plan.rows == -1, bg)
+        kept = plan.rows[plan.rows >= 0]
+        np.testing.assert_array_equal(kept, np.arange(len(kept)))
+        # Kept rows read back exactly the tokens that ran.
+        np.testing.assert_array_equal(plan.reduced_seq.tokens(),
+                                      seq.tokens()[~bg])
+
+    def test_cold_table_keeps_one_representative_per_digest(self):
+        seq = corner_seq()
+        digests = token_digests(seq.tokens(), 256)
+        bg = background_mask(seq, 0.0)
+        plan = shortcircuit_plan(seq, digests, bg,
+                                 known=np.zeros(len(seq), dtype=bool))
+        # Nothing known -> nothing leaves for the table, but duplicate
+        # digests still collapse onto their first occurrence.
+        assert plan.n_skipped == 0
+        assert (plan.rows >= 0).all()
+        groups = {(digests[i].tobytes(), int(seq.sizes[i]))
+                  for i in np.flatnonzero(bg)}
+        assert len(plan.seeds) == len(groups)
+        assert plan.n_merged == int(bg.sum()) - len(groups)
+        assert len(plan.reduced_seq) == len(seq) - plan.n_merged
+        # Every background token reads a reduced row with its own digest,
+        # and every seed is a background token that stayed in-sequence.
+        red = token_digests(plan.reduced_seq.tokens(), 256)
+        for i in np.flatnonzero(bg):
+            assert red[plan.rows[i]] == digests[i]
+        assert bg[plan.seeds].all()
+
+    def test_mixed_known_and_unknown_digests(self):
+        seq = corner_seq()
+        digests = token_digests(seq.tokens(), 256)
+        bg = background_mask(seq, 0.0)
+        idx = np.flatnonzero(bg)
+        known = np.zeros(len(seq), dtype=bool)
+        known[idx[: len(idx) // 2]] = True
+        plan = shortcircuit_plan(seq, digests, bg, known)
+        assert plan.n_skipped == int((bg & known).sum())
+        np.testing.assert_array_equal(plan.rows == -1, bg & known)
+        # Unknown background tokens resolve in-sequence via representatives.
+        red = token_digests(plan.reduced_seq.tokens(), 256)
+        for i in idx[len(idx) // 2:]:
+            assert red[plan.rows[i]] == digests[i]
+
+
+class TestMergePlan:
+    def _run_seq(self):
+        # A mostly-flat image yields runs of identical flat tokens at the
+        # same leaf size once ordered along the curve.
+        seq = corner_seq(z=128)
+        digests = token_digests(seq.tokens(), 256)
+        return seq, digests
+
+    def test_runs_collapse_onto_first_member(self):
+        seq, digests = self._run_seq()
+        plan = merge_plan(seq, digests, seq.sizes, min_run=2)
+        assert plan is not None and plan.n_merged > 0
+        assert len(plan.reduced_seq) == len(seq) - plan.n_merged
+        red = token_digests(plan.reduced_seq.tokens(), 256)
+        for i in range(len(seq)):
+            # Every full-row token maps to a reduced row with its digest.
+            assert red[plan.rows[i]] == digests[i]
+        # Representatives are the run heads, in original order.
+        assert (np.diff(plan.rows) >= 0).all()
+
+    def test_min_run_gates_merging(self):
+        seq, digests = self._run_seq()
+        loose = merge_plan(seq, digests, seq.sizes, min_run=2)
+        strict = merge_plan(seq, digests, seq.sizes, min_run=64)
+        assert strict is None or strict.n_merged < loose.n_merged
+
+    def test_none_when_nothing_merges(self):
+        rng = np.random.default_rng(0)
+        seq = UniformPatcher(4)(rng.random((32, 32)))
+        digests = token_digests(seq.tokens(), 0)      # exact: all distinct
+        assert merge_plan(seq, digests, seq.sizes, min_run=2) is None
+
+    def test_size_mismatch_breaks_a_run(self):
+        digests = np.array([b"a", b"a", b"a", b"a"], dtype="V1")
+        sizes = np.array([4, 4, 8, 8])
+        seq = corner_seq()
+        sub = take_tokens(seq, np.arange(4))
+        plan = merge_plan(sub, digests, sizes, min_run=2)
+        # Two runs of two — each collapses one token.
+        assert plan.n_merged == 2
+        np.testing.assert_array_equal(plan.rows, [0, 0, 1, 1])
