@@ -15,6 +15,7 @@ organized by subsystem:
 * :mod:`repro.distributed` — simulated collectives + data parallelism
 * :mod:`repro.serve` — compiled micro-batching Predictor + async engine
 * :mod:`repro.stream` — out-of-core streaming inference (gigapixel scenes)
+* :mod:`repro.pyramid` — interactive slide viewing (tile pyramid serving)
 * :mod:`repro.perf` — FLOP/memory/cost models, memory tracking
 * :mod:`repro.experiments` — per-table/figure runners (also a CLI:
   ``python -m repro.experiments <artifact>``)

@@ -386,6 +386,11 @@ class InferenceEngine:
             r.future.set_result(m)
             self.metrics.observe("latency", done_at - r.submit_t)
             self.metrics.observe(f"latency.{r.lane}", done_at - r.submit_t)
+            # Queue wait = dispatch minus submission: the scheduling-policy
+            # share of latency (service time excluded), per lane — the
+            # number that shows viewport-priority actually beating FIFO.
+            self.metrics.observe("queue_wait", started - r.submit_t)
+            self.metrics.observe(f"queue_wait.{r.lane}", started - r.submit_t)
             lanes[r.lane] = lanes.get(r.lane, 0) + 1
             for sub_t, chain_lane, fut in chain:
                 # private copy: twins belong to independent clients who may
@@ -432,6 +437,43 @@ class InferenceEngine:
         with self._cond:
             return self._queue.next_flush_at(now, self.config.max_batch,
                                              self.config.flush_deadline)
+
+    # -- cancellation ------------------------------------------------------
+    def cancel(self, future: Future) -> bool:
+        """Retire a still-waiting submission; returns True when cancelled.
+
+        The stale-viewport path for interactive front-ends (the pyramid
+        tile service): a viewer that panned away no longer needs tiles it
+        requested, and cancelling them frees queue capacity and server
+        time for the tiles it needs *now*. Only waiting work is
+        cancellable — a request already dispatched to the model, already
+        resolved, or one serving as the **primary of collapsed
+        duplicates** (other clients ride on its execution) is left alone
+        and the call returns False.
+
+        On success the queue slot is released, the in-flight reservation
+        is torn down (a later identical submission executes fresh — the
+        result cache is never populated from a cancelled request, so no
+        cache can be poisoned), and ``future`` is cancelled
+        (``Future.cancel``; waiters see :class:`~concurrent.futures.CancelledError`).
+        """
+        with self._cond:
+            waiting = self._queue.find(future)
+            if waiting is None:
+                return False
+            # refuse while twins ride on this primary: cancelling would
+            # orphan their futures (they resolve from the primary's run)
+            if self._collapsed.get(id(waiting)):
+                return False
+            req = self._queue.remove(future)
+            if req.key is not None and self._inflight.get(req.key) is req:
+                del self._inflight[req.key]
+            self.metrics.inc("cancelled")
+            self.metrics.gauge("queue_depth").set(len(self._queue))
+        cancelled = future.cancel()
+        if not cancelled:   # pragma: no cover - engine never starts futures
+            future.set_exception(EngineOverloaded("request cancelled"))
+        return True
 
     # -- fleet membership --------------------------------------------------
     def evict_pending(self):
@@ -573,7 +615,14 @@ class InferenceEngine:
         cache["hits"] = hits
         cache["hit_rate"] = hits / submitted if submitted else 0.0
         pipeline = self.predictor.pipeline
-        return {"engine": self.metrics.snapshot(),
+        snap = self.metrics.snapshot()
+        # Per-lane queue-wait histograms, pulled up from the flat snapshot:
+        # the scheduling-policy share of latency, interactive vs bulk —
+        # what proves priority lanes (and viewport priority) beat FIFO.
+        queue["wait_per_lane"] = {lane: snap[f"queue_wait.{lane}"]
+                                  for lane in self.config.lanes
+                                  if f"queue_wait.{lane}" in snap}
+        return {"engine": snap,
                 "queue": queue,
                 "result_cache": cache,
                 "predictor": dict(self.predictor.stats),

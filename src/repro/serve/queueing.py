@@ -201,6 +201,36 @@ class FairQueue:
         self._vclock = max(self._vclock, batch[0].vtime)
         return batch
 
+    def find(self, future: Future) -> Optional[Request]:
+        """The waiting request that owns ``future`` (None once dispatched).
+
+        Linear in queue depth, which admission control bounds at
+        ``max_depth`` — cheap enough for the cancellation path.
+        """
+        for reqs in self._buckets.values():
+            for r in reqs:
+                if r.future is future:
+                    return r
+        return None
+
+    def remove(self, future: Future) -> Optional[Request]:
+        """Retire the waiting request that owns ``future`` (or None).
+
+        The cancellation primitive under
+        :meth:`~repro.serve.engine.InferenceEngine.cancel`: only *waiting*
+        requests are removable — once :meth:`collect` has dispatched a
+        request it is the batcher's.
+        """
+        for length, reqs in self._buckets.items():
+            for i, r in enumerate(reqs):
+                if r.future is future:
+                    del reqs[i]
+                    if not reqs:
+                        del self._buckets[length]
+                    self._count -= 1
+                    return r
+        return None
+
     def pop_all(self) -> List[Request]:
         """Remove and return every waiting request in virtual-time order.
 

@@ -220,6 +220,22 @@ class FleetRouter:
         return self._route(digest,
                            lambda e: e.submit_volume(volume, lane=lane))
 
+    def cancel(self, future) -> bool:
+        """Cancel a still-waiting submission wherever it is queued.
+
+        The fleet face of :meth:`InferenceEngine.cancel`: the request may
+        sit on its affinity replica, a spill target, or an adoptive
+        replica after a kill — the owning queue is found by asking each
+        serving replica (queues are admission-bounded, so the sweep is
+        cheap). Same semantics as the engine call: dispatched, resolved,
+        or twin-carrying requests are not cancelled (returns False).
+        """
+        for replica in self.replicas:
+            if replica.serving and replica.engine.cancel(future):
+                self.metrics.inc("cancelled")
+                return True
+        return False
+
     @property
     def _caching(self) -> bool:
         """Affinity only pays when at least one replica caches results."""

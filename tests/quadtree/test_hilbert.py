@@ -78,3 +78,56 @@ class TestPatcherHilbertOrder:
         assert len(seq_h) == len(seq_m)
         # Same leaves, different arrangement (almost surely).
         assert sorted(zip(seq_h.ys, seq_h.xs)) == sorted(zip(seq_m.ys, seq_m.xs))
+
+
+class TestHilbertProperties:
+    """Property/round-trip coverage for the full hilbert API surface."""
+
+    @given(st.lists(st.tuples(st.integers(0, 2 ** 10 - 1),
+                              st.integers(0, 2 ** 10 - 1)),
+                    min_size=1, max_size=64))
+    @settings(max_examples=50, deadline=None)
+    def test_decode_encode_roundtrip_vector(self, points):
+        ys = np.array([p[0] for p in points])
+        xs = np.array([p[1] for p in points])
+        codes = hilbert_encode(ys, xs, bits=10)
+        yd, xd = hilbert_decode(codes, bits=10)
+        np.testing.assert_array_equal(yd, ys)
+        np.testing.assert_array_equal(xd, xs)
+
+    @given(st.lists(st.integers(0, 4 ** 6 - 1), min_size=1, max_size=64))
+    @settings(max_examples=50, deadline=None)
+    def test_encode_decode_roundtrip_codes(self, codes):
+        d = np.asarray(codes, dtype=np.uint64)
+        ys, xs = hilbert_decode(d, bits=6)
+        np.testing.assert_array_equal(hilbert_encode(ys, xs, bits=6), d)
+
+    @given(st.lists(st.tuples(st.integers(0, 255), st.integers(0, 255)),
+                    min_size=2, max_size=64))
+    @settings(max_examples=50, deadline=None)
+    def test_sort_order_is_permutation_with_monotone_codes(self, points):
+        ys = np.array([p[0] for p in points])
+        xs = np.array([p[1] for p in points])
+        order = hilbert_sort_order(ys, xs)
+        assert sorted(order) == list(range(len(points)))
+        codes = hilbert_encode(ys, xs)[order]
+        assert (np.diff(codes.astype(np.int64)) >= 0).all()
+
+    def test_sort_order_stable_on_duplicates(self):
+        ys = np.array([3, 3, 1, 3])
+        xs = np.array([5, 5, 0, 5])
+        order = hilbert_sort_order(ys, xs)
+        dupes = [i for i in order if (ys[i], xs[i]) == (3, 5)]
+        assert dupes == sorted(dupes)       # kind="stable" preserved ties
+
+    def test_quadtree_hilbert_order_matches_sort_order(self):
+        d = np.zeros((64, 64))
+        d[8:40, 16:48] = np.linspace(0, 1, 32)[None, :]
+        leaves = build_quadtree(d, 1.5, 6)
+        order = leaves.hilbert_order()
+        assert sorted(order) == list(range(len(leaves)))
+        np.testing.assert_array_equal(
+            order, hilbert_sort_order(leaves.ys, leaves.xs))
+        reordered = leaves.sorted_by_hilbert()
+        codes = hilbert_encode(reordered.ys, reordered.xs)
+        assert (np.diff(codes.astype(np.int64)) >= 0).all()
