@@ -1,0 +1,228 @@
+"""Observability overhead benchmark + CI gate (``BENCH_obs.json``).
+
+The tracing layer's contract is *zero cost when disabled, negligible when
+enabled, invisible always*. This bench drives the deterministic fleet DES
+(2 replicas, seeded Poisson arrivals, virtual service times) three ways —
+untraced, disabled tracer, enabled tracer — and gates:
+
+* **bit-identical reports** — the DES report (throughput, latency
+  histograms, per-replica stats) is *equal* across all three variants:
+  tracing never perturbs scheduling, virtual time, or results;
+* **wall-clock overhead** — min-of-k interleaved timing: the disabled
+  tracer costs ≤ 1% (+5 ms absolute slack) over untraced, the enabled
+  tracer ≤ 5% (+10 ms);
+* **structural invariants** — the exported Chrome trace validates
+  (spans nest, async request intervals pair 1:1, ends carry outcomes),
+  every accepted submission opens exactly one request interval and every
+  interval closes, a cancelled request is marked ``cancelled``;
+* **determinism** — two same-seed DES runs export byte-identical JSON;
+* **kernel profiling** — a wall-mode profiled run joins real per-step
+  seconds with cost-model FLOP/byte estimates (achieved GFLOP/s > 0).
+
+The exported trace is written to ``benchmarks/trace_obs.json`` and
+uploaded as a CI artifact next to ``BENCH_obs.json``.
+"""
+
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.data import SyntheticPAIP
+from repro.models import ViTSegmenter
+from repro.obs import (Tracer, chrome_trace, critical_paths, flame_text,
+                       validate_trace)
+from repro.perf import write_json_atomic
+from repro.pipeline import PatchPipeline
+from repro.serve import (InferenceEngine, Predictor, ServiceModel, SimClock,
+                         build_fleet, merge_traces, poisson_trace,
+                         run_fleet_load)
+
+RES = 64
+N_IMAGES = 8
+MODEL = dict(patch_size=4, channels=1, dim=16, depth=1, heads=2, max_len=256)
+REPLICAS = 2
+N_CLIENTS = 4
+ARRIVALS_PER_CLIENT = 30
+RATE_PER_CLIENT = 40.0
+TIMING_ROUNDS = 5
+
+# ISSUE 10 acceptance: disabled ≤ 1% + absolute slack, enabled ≤ 5%
+DISABLED_REL, DISABLED_ABS = 1.01, 0.005
+ENABLED_REL, ENABLED_ABS = 1.05, 0.010
+
+HERE = Path(__file__).resolve().parent
+RESULT_PATH = HERE / "BENCH_obs.json"
+TRACE_PATH = HERE / "trace_obs.json"
+
+
+def _make_model():
+    return ViTSegmenter(rng=np.random.default_rng(0), **MODEL).eval()
+
+
+def _factory(model):
+    def make(rank):
+        pipe = PatchPipeline(patch_size=4, split_value=8.0, channels=1,
+                             cache_items=32)
+        return Predictor(model, pipe, max_batch=4, bucket=16)
+    return make
+
+
+def _trace_in():
+    return merge_traces(*[
+        poisson_trace(RATE_PER_CLIENT, ARRIVALS_PER_CLIENT,
+                      seed=9000 + c, n_items=N_IMAGES)
+        for c in range(N_CLIENTS)])
+
+
+def _run(model, imgs, tracer):
+    """One full DES replay; returns (report, tracer, wall_seconds)."""
+    clock = SimClock()
+    if tracer == "enabled":
+        tr = Tracer(clock=clock.now)
+    elif tracer == "disabled":
+        tr = Tracer(clock=clock.now, enabled=False)
+    else:
+        tr = None
+    router = build_fleet(_factory(model), replicas=REPLICAS, clock=clock.now,
+                         service_model=ServiceModel(), flush_deadline=0.02,
+                         result_cache_items=16, tracer=tr)
+    t0 = time.perf_counter()
+    report = run_fleet_load(router, _trace_in(), imgs, clock)
+    return report, tr, time.perf_counter() - t0
+
+
+def _comparable(report):
+    """The DES-deterministic slice of a fleet report (drop real seconds)."""
+    out = dict(report)
+    out.pop("real_seconds", None)
+    return out
+
+
+@pytest.mark.bench
+def test_obs_overhead_and_invariants_gate():
+    wall_t0 = time.perf_counter()
+    ds = SyntheticPAIP(RES, N_IMAGES)
+    imgs = [ds[i].image for i in range(N_IMAGES)]
+    model = _make_model()
+
+    # ------------------------------------------------------------------
+    # Bit-identical reports + min-of-k interleaved overhead timing
+    # ------------------------------------------------------------------
+    walls = {"off": [], "disabled": [], "enabled": []}
+    reports = {}
+    for _ in range(TIMING_ROUNDS):
+        for variant in ("off", "disabled", "enabled"):
+            report, tr, wall = _run(model, imgs,
+                                    None if variant == "off" else variant)
+            walls[variant].append(wall)
+            reports.setdefault(variant, _comparable(report))
+    assert reports["disabled"] == reports["off"], \
+        "a disabled tracer must leave the DES report bit-identical"
+    assert reports["enabled"] == reports["off"], \
+        "an enabled tracer must not perturb scheduling or results"
+    t_off = min(walls["off"])
+    t_dis = min(walls["disabled"])
+    t_en = min(walls["enabled"])
+
+    # ------------------------------------------------------------------
+    # Structural invariants + same-seed byte determinism
+    # ------------------------------------------------------------------
+    blobs, tracers = [], []
+    for _ in range(2):
+        report, tr, _ = _run(model, imgs, "enabled")
+        trace = chrome_trace(tr)
+        blobs.append(json.dumps(trace, sort_keys=True,
+                                separators=(",", ":")).encode())
+        tracers.append(tr)
+    assert blobs[0] == blobs[1], \
+        "same-seed DES runs must export byte-identical traces"
+    tr = tracers[0]
+    trace = chrome_trace(tr)
+    errors = validate_trace(trace)
+    assert errors == [], f"trace structure violations: {errors[:5]}"
+    begins = {e["id"] for e in trace["traceEvents"]
+              if e["ph"] == "b" and e.get("cat") == "request"}
+    ends = {e["id"] for e in trace["traceEvents"]
+            if e["ph"] == "e" and e.get("cat") == "request"}
+    accepted = report["offered"] - report["rejected_submissions"]
+    assert len(begins) == accepted and begins == ends, \
+        "every accepted submission opens one interval and closes it"
+    paths = critical_paths(tr)
+    batched = [p for p in paths.values() if "queue" in p]
+    assert batched, "critical paths must decompose batched requests"
+    TRACE_PATH.write_bytes(blobs[0])
+
+    # cancelled requests are marked: submit one and cancel it
+    clock = SimClock()
+    cancel_tr = Tracer(clock=clock.now)
+    engine = InferenceEngine(_factory(model)(0), clock=clock.now,
+                             service_model=ServiceModel(),
+                             flush_deadline=0.02, tracer=cancel_tr)
+    assert engine.cancel(engine.submit(imgs[0]))
+    cancel_ends = [e for e in cancel_tr.events
+                   if e["ph"] == "e" and e.get("cat") == "request"]
+    assert [e["args"]["outcome"] for e in cancel_ends] == ["cancelled"]
+
+    # ------------------------------------------------------------------
+    # Wall-mode kernel profiling: seconds joined with FLOP estimates
+    # ------------------------------------------------------------------
+    prof_tr = Tracer(profile_kernels=True)
+    prof_pred = Predictor(model, PatchPipeline(patch_size=4, split_value=8.0,
+                                               channels=1, cache_items=32),
+                          max_batch=4, bucket=16, tracer=prof_tr)
+    prof_pred.predict_image(imgs[0])
+    kernels = prof_tr.kernels.summary()
+    assert kernels and all(v["seconds"] > 0 for v in kernels.values())
+    heavy = {k: v for k, v in kernels.items()
+             if k in ("matmul", "linear", "linear_gelu", "sdpa")}
+    assert heavy and all(v["gflop_per_s"] > 0 for v in heavy.values())
+
+    # ------------------------------------------------------------------
+    # Report + gates
+    # ------------------------------------------------------------------
+    result = {
+        "environment": {"cpus": os.cpu_count() or 1,
+                        "machine": platform.machine()},
+        "workload": {"images": N_IMAGES, "resolution": RES,
+                     "replicas": REPLICAS, "clients": N_CLIENTS,
+                     "arrivals_per_client": ARRIVALS_PER_CLIENT,
+                     "rate_per_client": RATE_PER_CLIENT,
+                     "timing_rounds": TIMING_ROUNDS, **MODEL},
+        "overhead": {
+            "wall_untraced": round(t_off, 6),
+            "wall_disabled": round(t_dis, 6),
+            "wall_enabled": round(t_en, 6),
+            "disabled_ratio": round(t_dis / t_off, 4),
+            "enabled_ratio": round(t_en / t_off, 4),
+            "reports_identical": True,
+        },
+        "trace": {
+            "events": len(tr.events),
+            "chrome_events": len(trace["traceEvents"]),
+            "tracks": list(tr.tracks),
+            "request_intervals": len(begins),
+            "batched_requests": len(batched),
+            "deterministic": True,
+            "validation_errors": 0,
+            "bytes": len(blobs[0]),
+        },
+        "kernels": {k: {"calls": v["calls"],
+                        "gflops": round(v["gflops"], 4)}
+                    for k, v in kernels.items()},
+        "flame_lines": len(flame_text(tr).splitlines()),
+        "real_seconds": round(time.perf_counter() - wall_t0, 3),
+    }
+    write_json_atomic(RESULT_PATH, result)
+    print("\n" + json.dumps(result, indent=2))
+
+    assert t_dis <= t_off * DISABLED_REL + DISABLED_ABS, (
+        f"disabled tracing costs {t_dis:.4f}s vs untraced {t_off:.4f}s "
+        f"(> {DISABLED_REL}x + {DISABLED_ABS}s)")
+    assert t_en <= t_off * ENABLED_REL + ENABLED_ABS, (
+        f"enabled tracing costs {t_en:.4f}s vs untraced {t_off:.4f}s "
+        f"(> {ENABLED_REL}x + {ENABLED_ABS}s)")

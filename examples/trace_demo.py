@@ -1,0 +1,107 @@
+"""End-to-end request tracing demo: DES fleet -> Chrome trace timeline.
+
+Walks the observability layer end to end:
+1. build a 2-replica fleet sharing one ``Tracer`` over the DES virtual
+   clock, replay a seeded Poisson arrival trace (with a mid-run replica
+   kill, so eviction/adoption markers appear in the timeline),
+2. export ``trace.json`` — load it in Perfetto (https://ui.perfetto.dev)
+   or ``chrome://tracing`` to see per-replica batch/execute/stitch spans
+   and per-request async intervals,
+3. print the text flame summary and per-request critical-path breakdown
+   (queue / batch-form / plan / execute / stitch),
+4. rerun one image wall-clock with kernel profiling on and report
+   achieved GFLOP/s per compiled kernel.
+
+Run:  PYTHONPATH=src python examples/trace_demo.py
+"""
+
+import numpy as np
+
+from repro.data import SyntheticPAIP
+from repro.models import ViTSegmenter
+from repro.obs import (Tracer, critical_paths, flame_text, validate_trace,
+                       write_chrome_trace)
+from repro.pipeline import PatchPipeline
+from repro.serve import (Predictor, ReplicaKill, ServiceModel, SimClock,
+                         build_fleet, merge_traces, poisson_trace,
+                         run_fleet_load)
+
+RES, N_IMAGES, SPLIT = 64, 8, 8.0
+
+
+def make_model():
+    return ViTSegmenter(patch_size=4, channels=1, dim=32, depth=2, heads=4,
+                        max_len=512, rng=np.random.default_rng(0)).eval()
+
+
+def predictor_factory(model):
+    def make(rank):
+        pipe = PatchPipeline(patch_size=4, split_value=SPLIT, channels=1,
+                             cache_items=64)
+        return Predictor(model, pipe, max_batch=4, bucket=32)
+    return make
+
+
+def main():
+    ds = SyntheticPAIP(RES, N_IMAGES)
+    imgs = [ds[i].image for i in range(N_IMAGES)]
+    model = make_model()
+
+    # -- 1. traced fleet DES replay with a mid-run kill ------------------
+    clock = SimClock()
+    tracer = Tracer(clock=clock.now)     # virtual timestamps -> determinism
+    router = build_fleet(predictor_factory(model), replicas=2,
+                         clock=clock.now, service_model=ServiceModel(),
+                         flush_deadline=0.02, result_cache_items=16,
+                         tracer=tracer)
+    arrivals = merge_traces(*[poisson_trace(60.0, 20, seed=100 + c,
+                                            n_items=N_IMAGES)
+                              for c in range(3)])
+    kill_t = arrivals[len(arrivals) // 2].time
+    report = run_fleet_load(router, arrivals, imgs, clock,
+                            events=[ReplicaKill(kill_t, 1)])
+    print(f"fleet replay: {report['requests_completed']} completed, "
+          f"{report['rejected_submissions']} rejected, "
+          f"{report['kills']} kill(s), throughput "
+          f"{report['throughput']:.1f}/s (virtual)")
+
+    # -- 2. export the Chrome trace --------------------------------------
+    trace = write_chrome_trace(tracer, "trace.json")
+    errors = validate_trace(trace)
+    print(f"trace.json: {len(trace['traceEvents'])} events across "
+          f"tracks {list(tracer.tracks)} "
+          f"({'valid' if not errors else errors[:3]})")
+    print("open it in https://ui.perfetto.dev or chrome://tracing")
+
+    # -- 3. terminal views: flame summary + critical paths ---------------
+    print("\n== flame summary (virtual seconds) ==")
+    print(flame_text(tracer, min_seconds=1e-9))
+    paths = critical_paths(tracer)
+    batched = {rid: row for rid, row in paths.items() if "queue" in row}
+    rid, row = max(batched.items(), key=lambda kv: kv[1]["total"])
+    print(f"\n== slowest batched request (rid={rid}) ==")
+    for field in ("queue", "batch_form", "plan", "execute", "stitch",
+                  "total"):
+        print(f"  {field:<11s} {row[field] * 1e3:8.3f} ms")
+    outcomes = {}
+    for row in paths.values():
+        outcomes[row["outcome"]] = outcomes.get(row["outcome"], 0) + 1
+    print(f"  outcomes: {outcomes}")
+
+    # -- 4. wall-clock kernel profiling ----------------------------------
+    prof = Tracer(profile_kernels=True)
+    pred = Predictor(model, PatchPipeline(patch_size=4, split_value=SPLIT,
+                                          channels=1, cache_items=64),
+                     max_batch=4, bucket=32, tracer=prof)
+    pred.predict_image(imgs[0])
+    print("\n== kernel profile (real time, one image) ==")
+    print(f"  {'op':<14s} {'calls':>5s} {'ms':>9s} {'GFLOP/s':>9s} "
+          f"{'GB/s':>7s}")
+    for op, row in prof.kernels.summary().items():
+        print(f"  {op:<14s} {row['calls']:>5d} "
+              f"{row['seconds'] * 1e3:>9.3f} {row['gflop_per_s']:>9.2f} "
+              f"{row['gb_per_s']:>7.2f}")
+
+
+if __name__ == "__main__":
+    main()

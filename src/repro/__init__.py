@@ -16,6 +16,7 @@ organized by subsystem:
 * :mod:`repro.serve` — compiled micro-batching Predictor + async engine
 * :mod:`repro.stream` — out-of-core streaming inference (gigapixel scenes)
 * :mod:`repro.pyramid` — interactive slide viewing (tile pyramid serving)
+* :mod:`repro.obs` — request tracing + kernel profiling (Chrome traces)
 * :mod:`repro.perf` — FLOP/memory/cost models, memory tracking
 * :mod:`repro.experiments` — per-table/figure runners (also a CLI:
   ``python -m repro.experiments <artifact>``)
@@ -36,13 +37,13 @@ from . import (data, distributed, imaging, metrics, models, nn, patching,
 
 __all__ = ["nn", "imaging", "quadtree", "patching", "pipeline", "data",
            "models", "train", "metrics", "distributed", "perf", "serve",
-           "stream", "__version__"]
+           "stream", "obs", "__version__"]
 
 
 def __getattr__(name):
     # serve/stream import runtime/serve machinery; lazy so `import repro`
     # stays light for pure-preprocessing users.
-    if name in ("serve", "stream"):
+    if name in ("serve", "stream", "obs"):
         import importlib
         return importlib.import_module(f".{name}", __name__)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

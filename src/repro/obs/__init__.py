@@ -1,0 +1,30 @@
+"""Observability: request tracing, kernel profiling, trace exporters.
+
+Quick start::
+
+    from repro.obs import Tracer, write_chrome_trace
+
+    tracer = Tracer()                      # wall clock
+    engine = InferenceEngine(predictor, tracer=tracer)
+    ... serve ...
+    write_chrome_trace(tracer, "trace.json")   # open in Perfetto
+
+Under the DES load harnesses, pass the virtual clock
+(``Tracer(clock=clock.now)`` with the same :class:`SimClock` the engine
+uses) and same-seed runs export byte-identical traces.
+"""
+
+from .tracer import KernelProfile, Span, Tracer
+from .export import (chrome_trace, critical_paths, flame_text,
+                     validate_trace, write_chrome_trace)
+
+__all__ = [
+    "Tracer",
+    "Span",
+    "KernelProfile",
+    "chrome_trace",
+    "write_chrome_trace",
+    "validate_trace",
+    "flame_text",
+    "critical_paths",
+]

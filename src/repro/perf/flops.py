@@ -10,10 +10,12 @@ what APF's sequence reduction attacks.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from math import prod
+from typing import Optional, Sequence, Tuple
 
 __all__ = ["TransformerConfig", "encoder_flops", "attention_flops",
            "training_flops", "inference_flops", "activation_bytes",
-           "attention_memory_bytes"]
+           "attention_memory_bytes", "kernel_cost"]
 
 
 @dataclass(frozen=True)
@@ -65,3 +67,61 @@ def activation_bytes(cfg: TransformerConfig, bytes_per_el: int = 4) -> float:
     """Per-sample activation footprint: token activations + attention maps."""
     token_acts = cfg.depth * cfg.seq_len * cfg.dim * (4 + 2 * cfg.mlp_ratio)
     return token_acts * bytes_per_el + attention_memory_bytes(cfg, bytes_per_el)
+
+
+def kernel_cost(op: str, in_shapes: Sequence[Tuple[int, ...]],
+                out_shape: Optional[Tuple[int, ...]],
+                itemsize: int = 8) -> Tuple[float, float]:
+    """Analytic ``(flops, bytes_moved)`` for one compiled-executor step.
+
+    This is the per-kernel counterpart of :func:`encoder_flops`: the
+    compiler stamps each :class:`~repro.runtime.compile.ExecutionPlan`
+    step with its estimate at compile time (shapes are static), and the
+    kernel profiler divides measured seconds into it to report *achieved*
+    GFLOP/s and GB/s per kernel — the roofline view of a plan.
+
+    ``op`` is the plan step name (``sdpa``, ``linear_gelu``, ``matmul``,
+    ``softmax``, ``reshape_copy``, …); ``in_shapes`` the operand shapes in
+    step order; ``out_shape`` the output shape. Bytes are the naive
+    streaming traffic (read every input once, write the output once) at
+    ``itemsize`` bytes per element — fused kernels deliberately *don't*
+    count their internal round trips, so achieved GB/s above the STREAM
+    number is the fusion showing up. Counts follow the usual convention:
+    a multiply-accumulate is 2 FLOPs, elementwise/normalization ops get
+    small constant factors; unknown ops fall back to one FLOP per output
+    element. Estimates, not measurements — good to the leading term.
+    """
+    out_n = float(prod(out_shape)) if out_shape else 0.0
+
+    if op in ("matmul", "linear", "linear_gelu"):
+        # out[..., M, N] = in0[..., M, K] @ in1[..., K, N]: 2*K per output.
+        k = float(in_shapes[0][-1]) if in_shapes and in_shapes[0] else 0.0
+        flops = 2.0 * out_n * k
+        if op != "matmul":
+            flops += out_n              # bias add
+        if op == "linear_gelu":
+            flops += 8.0 * out_n        # tanh-GELU polynomial + tanh
+    elif op == "sdpa":
+        # in_shapes = (q, kT, v [, bias]): scores S = q @ kT is the big
+        # intermediate; softmax over S, then S @ v.
+        q, kT = in_shapes[0], in_shapes[1]
+        d_k = float(q[-1])
+        s_n = float(prod(q[:-1])) * float(kT[-1])
+        flops = 2.0 * s_n * d_k         # q @ kT
+        flops += s_n                    # scale
+        if len(in_shapes) > 3:
+            flops += s_n                # bias add
+        flops += 5.0 * s_n              # max/sub/exp/sum/div softmax
+        flops += 2.0 * out_n * float(kT[-1])   # S @ v
+    elif op == "softmax":
+        flops = 5.0 * out_n
+    elif op == "layer_norm":
+        flops = 8.0 * out_n
+    elif op.endswith("_copy"):
+        flops = 0.0                     # pure data movement
+    else:
+        flops = out_n                   # elementwise default
+
+    in_n = sum(float(prod(s)) for s in in_shapes if s is not None)
+    nbytes = float(itemsize) * (in_n + out_n)
+    return flops, nbytes

@@ -188,7 +188,7 @@ class PyramidService:
                  prefetch_order: str = "hilbert",
                  cache_items: int = 512,
                  lane: str = "interactive", prefetch_lane: str = "bulk",
-                 clock=None):
+                 clock=None, tracer=None):
         if policy not in ("priority", "fifo"):
             raise ValueError(f"unknown policy {policy!r}")
         if prefetch_order not in ("hilbert", "morton"):
@@ -211,6 +211,13 @@ class PyramidService:
         #: session -> {tile: task} of its live (cancellable) work
         self._session_tasks: Dict[str, Dict[PyramidTile, TileTask]] = {}
         self._last_viewport: Dict[str, Tuple[int, int, int]] = {}
+        # Tracing (repro.obs): cache/join/submit/cancel decisions land on
+        # the "viewer" track; inherits the backend's tracer by default so
+        # one Tracer covers viewer -> router -> replicas end to end.
+        if tracer is None:
+            tracer = getattr(backend, "tracer", None)
+        self.tracer = tracer if (tracer is not None and tracer.enabled) \
+            else None
 
     # -- ordering ----------------------------------------------------------
     def _visible_order(self, tiles: Sequence[PyramidTile],
@@ -279,7 +286,8 @@ class PyramidService:
         return self._curve_order(candidates)[:self.prefetch_tiles]
 
     # -- stale-viewport cancellation --------------------------------------
-    def _cancel_stale(self, session: str, keep: Set[PyramidTile]) -> int:
+    def _cancel_stale(self, session: str, keep: Set[PyramidTile],
+                      now: float = 0.0) -> int:
         """Retire this session's queued tiles that the new viewport obsoleted.
 
         A tile is only *cancelled at the backend* when no session still
@@ -304,6 +312,11 @@ class PyramidService:
                     if self._outstanding.get(task.digest) is task:
                         del self._outstanding[task.digest]
                 self.metrics.inc("stale_cancelled")
+                if self.tracer is not None:
+                    self.tracer.instant(
+                        "tile.cancel", "viewer", now,
+                        args={"session": session,
+                              "digest": str(task.digest)[:12]})
         return cancelled
 
     # -- completion --------------------------------------------------------
@@ -340,9 +353,16 @@ class PyramidService:
         prefetch = (self._prefetch_candidates(session, level, origin, size,
                                               visible_set)
                     if self.prefetch_tiles and visible else [])
+        if self.tracer is not None:
+            self.tracer.instant(
+                "viewport", "viewer", now,
+                args={"session": session, "level": level,
+                      "origin": [int(origin[0]), int(origin[1])],
+                      "size": [int(size[0]), int(size[1])],
+                      "tiles": len(visible)})
         if self.policy == "priority":
             report.cancelled_stale = self._cancel_stale(
-                session, visible_set | set(prefetch))
+                session, visible_set | set(prefetch), now)
         mine = self._session_tasks.setdefault(session, {})
         for tile in self._visible_order(visible, origin, size):
             task = self._resolve_tile(session, tile, now, report,
@@ -370,6 +390,10 @@ class PyramidService:
         """One tile through the cache / join / submit ladder."""
         digest = self.pyramid.digest(tile)
         lane = self.prefetch_lane if prefetch else self.lane
+        tracer = self.tracer
+        targs = ({"session": session, "digest": str(digest)[:12],
+                  "prefetch": prefetch}
+                 if tracer is not None else None)
         with self._lock:
             value = self.cache.get(digest)
             joined = self._outstanding.get(digest) if value is None else None
@@ -378,6 +402,8 @@ class PyramidService:
                 return None
             report.cache_hits += 1
             self.metrics.inc("tile_cache_hits")
+            if tracer is not None:
+                tracer.instant("tile.cache_hit", "viewer", now, args=targs)
             return TileTask(tile=tile, digest=digest, lane=lane,
                             submit_t=now, sessions={session},
                             cached=True, done_t=now)
@@ -388,6 +414,8 @@ class PyramidService:
                 return None
             report.joined += 1
             self.metrics.inc("tile_joined")
+            if tracer is not None:
+                tracer.instant("tile.join", "viewer", now, args=targs)
             return joined
         task = TileTask(tile=tile, digest=digest, lane=lane, submit_t=now,
                         sessions={session}, prefetch=prefetch)
@@ -398,6 +426,8 @@ class PyramidService:
             # Visible tiles surface the rejection (the viewer re-requests
             # on its next event); speculative ones just evaporate.
             task.rejected = True
+            if tracer is not None:
+                tracer.instant("tile.reject", "viewer", now, args=targs)
             if prefetch:
                 report.prefetch_rejected += 1
                 self.metrics.inc("prefetch_rejected")
@@ -407,6 +437,9 @@ class PyramidService:
             return task
         with self._lock:
             self._outstanding[digest] = task
+        if tracer is not None:
+            tracer.instant("tile.submit", "viewer", now,
+                           args=dict(targs, lane=lane))
         task.future.add_done_callback(
             lambda fut, task=task: self._on_done(task, fut))
         if prefetch:

@@ -217,9 +217,16 @@ def run_viewer_load(service: PyramidService, trace: Sequence[ViewportEvent],
         if tag == 0:
             pump(ev.time)
             clock.set(ev.time)
+            tracer = getattr(backend, "tracer", None)
             if isinstance(ev, ReplicaKill):
+                if tracer is not None:
+                    tracer.instant("fault.kill", "loadgen", ev.time,
+                                   args={"rank": ev.rank})
                 backend.kill(ev.rank)
             elif isinstance(ev, ReplicaDrain):
+                if tracer is not None:
+                    tracer.instant("fault.drain", "loadgen", ev.time,
+                                   args={"rank": ev.rank})
                 backend.drain(ev.rank)
             else:
                 raise TypeError(f"unknown fleet event {ev!r}")

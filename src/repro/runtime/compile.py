@@ -27,11 +27,13 @@ bit-identical to the eager ``no_grad`` forward it was traced from.
 from __future__ import annotations
 
 from collections import Counter
+from time import perf_counter as _perf_counter
 from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..nn import kernels as K
+from ..perf.flops import kernel_cost
 from .trace import VIEW_OPS, Graph, trace
 
 __all__ = ["ExecutionPlan", "CompiledModel", "compile_graph", "compile_model"]
@@ -76,10 +78,18 @@ class ExecutionPlan:
     def __init__(self, signature: tuple) -> None:
         self.signature = signature
         self._steps: List[Tuple[str, Callable[[], None]]] = []
+        self._step_meta: List[Optional[dict]] = []
         self._input_bufs: Dict[str, np.ndarray] = {}
         self._out: Optional[np.ndarray] = None
         self._scratch: Dict[tuple, np.ndarray] = {}
         self.stats: Dict[str, int] = {}
+        #: Optional ``hook(step_name, seconds, meta)`` — when set, ``run``
+        #: times each step (``perf_counter``) and reports it with the
+        #: compile-time FLOP/byte estimate stamped on the step. ``None``
+        #: (the default) keeps the untimed loop: the hot path pays one
+        #: attribute load per ``run``, nothing per step.
+        self.profile_hook: Optional[Callable[[str, float, Optional[dict]],
+                                             None]] = None
 
     # -- build-time helpers (used by compile_graph) ----------------------
     def scratch(self, shape, dtype) -> np.ndarray:
@@ -92,8 +102,10 @@ class ExecutionPlan:
             self._scratch[key] = buf
         return buf
 
-    def add_step(self, name: str, fn: Callable[[], None]) -> None:
+    def add_step(self, name: str, fn: Callable[[], None],
+                 meta: Optional[dict] = None) -> None:
         self._steps.append((name, fn))
+        self._step_meta.append(meta)
 
     # -- run time --------------------------------------------------------
     def run(self, feeds: Dict[str, np.ndarray]) -> np.ndarray:
@@ -103,8 +115,17 @@ class ExecutionPlan:
                              f"got {sorted(feeds)}")
         for name, buf in bufs.items():
             np.copyto(buf, feeds[name], casting="no")
-        for _, step in self._steps:
-            step()
+        hook = self.profile_hook
+        if hook is None:
+            for _, step in self._steps:
+                step()
+        else:
+            meta = self._step_meta
+            timer = _perf_counter
+            for i, (name, step) in enumerate(self._steps):
+                t0 = timer()
+                step()
+                hook(name, timer() - t0, meta[i])
         return self._out
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -308,6 +329,13 @@ def compile_graph(graph: Graph) -> ExecutionPlan:
             if uses[r] == 0 and buf is not None and id(buf) not in keep:
                 pool.release(buf)
 
+    def cost_meta(op, in_arrays, out_shape, dtype):
+        """Compile-time FLOP/byte stamp consumed by the profile hook."""
+        flops, nbytes = kernel_cost(op, [x.shape for x in in_arrays],
+                                    tuple(out_shape),
+                                    np.dtype(dtype).itemsize)
+        return {"flops": flops, "bytes": nbytes}
+
     sc = plan.scratch
     for a in ordered_anchors:
         spec = groups[a]
@@ -348,7 +376,9 @@ def compile_graph(graph: Graph) -> ExecutionPlan:
                     np.divide(S, z, out=S)
                     np.matmul(S, v, out=C)
 
-            plan.add_step("sdpa", run)
+            sdpa_ins = [q, kT, v] + ([bias] if bias is not None else [])
+            plan.add_step("sdpa", run,
+                          cost_meta("sdpa", sdpa_ins, mm2.shape, mm2.dtype))
             out_idx = members[-1]
             bound[out_idx] = C
             ownerbuf[out_idx] = C
@@ -382,7 +412,10 @@ def compile_graph(graph: Graph) -> ExecutionPlan:
                     else:
                         np.add(out, bias, out=out)
 
-            plan.add_step("linear_gelu" if fuse_gelu else "linear", run)
+            lin_op = "linear_gelu" if fuse_gelu else "linear"
+            plan.add_step(lin_op, run,
+                          cost_meta(lin_op, [x, w, bias],
+                                    out_node.shape, out_node.dtype))
             out_idx = members[-1]
             bound[out_idx] = out
             ownerbuf[out_idx] = out
@@ -412,7 +445,8 @@ def compile_graph(graph: Graph) -> ExecutionPlan:
             else:
                 def run(out=out, kernel=kernel, params=n.params, ins=ins):
                     np.copyto(out, kernel.fn(params, *ins))
-            plan.add_step(f"{n.op}_copy", run)
+            plan.add_step(f"{n.op}_copy", run,
+                          cost_meta(f"{n.op}_copy", ins, n.shape, n.dtype))
         else:
             # In-place: reuse a dying, shape/dtype-matched operand buffer.
             out = None
@@ -435,7 +469,8 @@ def compile_graph(graph: Graph) -> ExecutionPlan:
             else:
                 def run(out=out, kernel=kernel, params=n.params, ins=ins):
                     np.copyto(out, kernel.fn(params, *ins))
-            plan.add_step(n.op, run)
+            plan.add_step(n.op, run,
+                          cost_meta(n.op, ins, n.shape, n.dtype))
 
         bound[n.idx] = out
         ownerbuf[n.idx] = out

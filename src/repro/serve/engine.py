@@ -68,6 +68,15 @@ from .queueing import DEFAULT_LANES, EngineOverloaded, FairQueue, Request
 __all__ = ["EngineConfig", "InferenceEngine", "BatchReport"]
 
 
+def _trace_digest(key) -> Optional[str]:
+    """Short printable form of a content key for trace args."""
+    if key is None:
+        return None
+    if isinstance(key, tuple) and len(key) == 3:
+        return str(key[2])[:12]
+    return str(key)[:12]
+
+
 @dataclass
 class EngineConfig:
     """Tuning knobs of the engine (see README "Serving architecture").
@@ -134,7 +143,7 @@ class InferenceEngine:
 
     def __init__(self, predictor, config: Optional[EngineConfig] = None,
                  *, clock: Callable[[], float] = time.monotonic,
-                 service_model=None, **overrides):
+                 service_model=None, tracer=None, **overrides):
         # copy: the engine resolves fields in place (max_batch inheritance,
         # overrides), which must not leak into a caller-shared config
         cfg = replace(config) if config is not None else EngineConfig()
@@ -164,6 +173,22 @@ class InferenceEngine:
         self._ewma_batch_s: Optional[float] = None
         self._thread: Optional[threading.Thread] = None
         self._running = False
+        # Tracing (repro.obs): normalized to None when absent or disabled,
+        # so every hot-path site is one attribute test. The tracer is
+        # pushed down to the predictor so the shared work-graph scheduler
+        # emits its sub-spans on this engine's track.
+        tr = tracer if tracer is not None else getattr(predictor, "tracer",
+                                                       None)
+        self.tracer = tr if (tr is not None and tr.enabled) else None
+        self.trace_label = getattr(predictor, "trace_label", "engine")
+        if self.tracer is not None:
+            self.set_trace_label(self.trace_label)
+
+    def set_trace_label(self, label: str) -> None:
+        """Name this engine's trace track (fleets use ``replica<rank>``)."""
+        self.trace_label = label
+        self.predictor.tracer = self.tracer
+        self.predictor.trace_label = label
 
     # -- submission --------------------------------------------------------
     def _cache_get(self, digest: Hashable) -> Optional[np.ndarray]:
@@ -221,6 +246,8 @@ class InferenceEngine:
         # holding the condition while hashing S slices would stall the
         # batcher thread for the whole volume
         digests = [_digest(image) if cache_on else None for image in images]
+        tracer = self.tracer
+        track = self.trace_label
         with self._cond:
             for i, image in enumerate(images):
                 digest = digests[i]
@@ -233,13 +260,28 @@ class InferenceEngine:
                            if digest is not None else None)
                 if primary is not None:            # collapse onto in-flight twin
                     fut = Future()
-                    entry = (now, lane, fut)
+                    rid = 0
+                    if tracer is not None:
+                        rid = tracer.next_id()
+                        tracer.async_begin(
+                            "request", track, now, rid, tid=lane,
+                            args={"rid": rid, "lane": lane,
+                                  "digest": _trace_digest(digest),
+                                  "kind": "collapsed"})
+                    entry = (now, lane, fut, rid)
                     self._collapsed.setdefault(id(primary), []).append(entry)
                     chained.append((id(primary), entry))
                     futures.append(fut)
                     continue
                 req = Request(seq=None, bucket=-1, lane=lane, submit_t=now,
                               key=digest)
+                if tracer is not None:
+                    req.rid = tracer.next_id()
+                    tracer.async_begin(
+                        "request", track, now, req.rid, tid=lane,
+                        args={"rid": req.rid, "lane": lane,
+                              "digest": _trace_digest(digest),
+                              "kind": "fresh"})
                 if digest is not None:
                     self._inflight[digest] = req   # reservation for twins
                 fresh.append(req)
@@ -265,8 +307,11 @@ class InferenceEngine:
             try:
                 self._queue.push_all(fresh, retry_after=self.retry_after_hint())
             except EngineOverloaded as exc:
-                self.metrics.inc("rejected",
-                                 self._rollback(fresh, exc, chained))
+                rejected = self._rollback(fresh, exc, chained)
+                self.metrics.inc("rejected", rejected)
+                if tracer is not None:
+                    tracer.instant("req.reject", track, now, tid=lane,
+                                   args={"count": rejected, "lane": lane})
                 raise
             self.metrics.inc("submitted", len(images))
             self.metrics.inc("cache_hits", len(hits))
@@ -276,6 +321,14 @@ class InferenceEngine:
         for i, value in hits.items():
             self.metrics.observe("latency", 0.0)
             self.metrics.observe(f"latency.{lane}", 0.0)
+            if tracer is not None:
+                rid = tracer.next_id()
+                tracer.async_begin("request", track, now, rid, tid=lane,
+                                   args={"rid": rid, "lane": lane,
+                                         "digest": _trace_digest(digests[i]),
+                                         "kind": "cache_hit"})
+                tracer.async_end("request", track, now, rid, tid=lane,
+                                 args={"outcome": "cache_hit"})
             # writable private copy, same contract as fresh results and
             # collapsed twins (the frozen original stays in the cache)
             futures[i].set_result(value.copy())
@@ -297,11 +350,20 @@ class InferenceEngine:
         retry-on-overload loop compounds every retry).
         """
         n = len(fresh)
+        tracer = self.tracer
+        now = self.clock() if tracer is not None else 0.0
         for req in fresh:
             if req.key is not None and self._inflight.get(req.key) is req:
                 del self._inflight[req.key]
-            for _, _, fut in self._collapsed.pop(id(req), []):
+            if tracer is not None and req.rid:
+                tracer.async_end("request", self.trace_label, now, req.rid,
+                                 tid=req.lane, args={"outcome": "failed"})
+            for _, twin_lane, fut, rid in self._collapsed.pop(id(req), []):
                 fut.set_exception(exc)
+                if tracer is not None and rid:
+                    tracer.async_end("request", self.trace_label, now, rid,
+                                     tid=twin_lane,
+                                     args={"outcome": "failed"})
                 n += 1
         for primary_id, entry in chained:
             entries = self._collapsed.get(primary_id)
@@ -311,6 +373,9 @@ class InferenceEngine:
             if not entries:
                 del self._collapsed[primary_id]
             entry[2].set_exception(exc)
+            if tracer is not None and entry[3]:
+                tracer.async_end("request", self.trace_label, now, entry[3],
+                                 tid=entry[1], args={"outcome": "failed"})
             n += 1
         return n
 
@@ -381,6 +446,13 @@ class InferenceEngine:
                 self._cache_put(r.key, m)
             ewma = self._ewma_batch_s
             self._ewma_batch_s = cost if ewma is None else 0.8 * ewma + 0.2 * cost
+        if self.tracer is not None:
+            self.tracer.complete(
+                "batch", self.trace_label, started, done_at, tid="engine",
+                args={"size": len(batch), "length": length,
+                      "signature": [len(batch), length],
+                      "rids": [r.rid for r in batch]})
+        tracer = self.tracer
         lanes: Dict[str, int] = {}
         for r, m, chain in zip(batch, maps, chains):
             r.future.set_result(m)
@@ -392,12 +464,19 @@ class InferenceEngine:
             self.metrics.observe("queue_wait", started - r.submit_t)
             self.metrics.observe(f"queue_wait.{r.lane}", started - r.submit_t)
             lanes[r.lane] = lanes.get(r.lane, 0) + 1
-            for sub_t, chain_lane, fut in chain:
+            if tracer is not None and r.rid:
+                tracer.async_end("request", self.trace_label, done_at, r.rid,
+                                 tid=r.lane, args={"outcome": "done"})
+            for sub_t, chain_lane, fut, rid in chain:
                 # private copy: twins belong to independent clients who may
                 # post-process in place (same poisoning rule as the cache)
                 fut.set_result(m.copy())
                 self.metrics.observe("latency", done_at - sub_t)
                 self.metrics.observe(f"latency.{chain_lane}", done_at - sub_t)
+                if tracer is not None and rid:
+                    tracer.async_end("request", self.trace_label, done_at,
+                                     rid, tid=chain_lane,
+                                     args={"outcome": "done"})
         self.metrics.inc("completed", len(batch))
         self.metrics.inc("batches")
         self.metrics.observe("batch_size", len(batch))
@@ -470,6 +549,13 @@ class InferenceEngine:
                 del self._inflight[req.key]
             self.metrics.inc("cancelled")
             self.metrics.gauge("queue_depth").set(len(self._queue))
+        if self.tracer is not None and req.rid:
+            now = self.clock()
+            self.tracer.instant("req.cancel", self.trace_label, now,
+                                tid=req.lane, args={"rid": req.rid})
+            self.tracer.async_end("request", self.trace_label, now, req.rid,
+                                  tid=req.lane,
+                                  args={"outcome": "cancelled"})
         cancelled = future.cancel()
         if not cancelled:   # pragma: no cover - engine never starts futures
             future.set_exception(EngineOverloaded("request cancelled"))
@@ -494,6 +580,12 @@ class InferenceEngine:
                     del self._inflight[r.key]
             self.metrics.inc("evicted", len(reqs))
             self.metrics.gauge("queue_depth").set(len(self._queue))
+        if self.tracer is not None:
+            now = self.clock()
+            for r in reqs:
+                if r.rid:
+                    self.tracer.instant("req.evict", self.trace_label, now,
+                                        tid=r.lane, args={"rid": r.rid})
         return reqs, chains
 
     def adopt(self, requests: Sequence[Request],
@@ -523,6 +615,12 @@ class InferenceEngine:
             self.metrics.inc("adopted", len(requests))
             self.metrics.gauge("queue_depth").set(len(self._queue))
             self._cond.notify_all()
+        if self.tracer is not None:
+            now = self.clock()
+            for r in requests:
+                if r.rid:
+                    self.tracer.instant("req.adopt", self.trace_label, now,
+                                        tid=r.lane, args={"rid": r.rid})
 
     @property
     def pending(self) -> int:

@@ -44,6 +44,7 @@ def build_fleet(predictor_factory: Callable[[int], object],
                 clock: Optional[Callable[[], float]] = None,
                 service_model=None,
                 cluster: Optional[SimCluster] = None,
+                tracer=None,
                 **engine_opts) -> FleetRouter:
     """Construct ``replicas`` engines over per-rank Predictors + a router.
 
@@ -66,6 +67,11 @@ def build_fleet(predictor_factory: Callable[[int], object],
         or None for measured wall time.
     cluster:
         Replica addressing topology; defaults to ``SimCluster(replicas)``.
+    tracer:
+        Optional :class:`~repro.obs.Tracer` shared by the router and
+        every replica; replica tracks are labeled ``replica<rank>``.
+        Build it over the same ``clock`` as the fleet (the DES virtual
+        clock for deterministic traces).
     engine_opts:
         Forwarded to every :class:`InferenceEngine` (``max_queue``,
         ``flush_deadline``, ``result_cache_items``, ...).
@@ -86,9 +92,14 @@ def build_fleet(predictor_factory: Callable[[int], object],
         kwargs = dict(engine_opts)
         if clock is not None:
             kwargs["clock"] = clock
-        engines.append(InferenceEngine(predictor_factory(rank),
-                                       service_model=models[rank], **kwargs))
+        engine = InferenceEngine(predictor_factory(rank),
+                                 service_model=models[rank], tracer=tracer,
+                                 **kwargs)
+        if engine.tracer is not None:
+            engine.set_trace_label(f"replica{rank}")
+        engines.append(engine)
     return FleetRouter(engines,
                        cluster=cluster if cluster is not None
                        else SimCluster(n),
-                       spill=cfg.spill, route_seconds=cfg.route_seconds)
+                       spill=cfg.spill, route_seconds=cfg.route_seconds,
+                       tracer=tracer)

@@ -295,9 +295,16 @@ def run_fleet_load(router, trace: Sequence[Arrival],
         if tag == 0:
             pump(ev.time)
             clock.set(ev.time)
+            tracer = getattr(router, "tracer", None)
             if isinstance(ev, ReplicaKill):
+                if tracer is not None:
+                    tracer.instant("fault.kill", "loadgen", ev.time,
+                                   args={"rank": ev.rank})
                 router.kill(ev.rank)
             elif isinstance(ev, ReplicaDrain):
+                if tracer is not None:
+                    tracer.instant("fault.drain", "loadgen", ev.time,
+                                   args={"rank": ev.rank})
                 router.drain(ev.rank)
             else:
                 raise TypeError(f"unknown fleet event {ev!r}")

@@ -174,12 +174,18 @@ class Histogram:
         return lo, hi
 
     def percentile(self, p: float) -> float:
-        """Approximate p-th percentile (p in [0, 100]); 0.0 when empty."""
+        """Approximate p-th percentile (p in [0, 100]); NaN when empty.
+
+        NaN (not 0.0) is the empty sentinel: a histogram of genuine zero
+        latencies must stay distinguishable from one that saw nothing.
+        :meth:`summary` maps the empty case to all-zero fields so JSON
+        snapshots stay finite.
+        """
         if not 0 <= p <= 100:
             raise ValueError("percentile wants p in [0, 100]")
         with self._lock:
             if self.count == 0:
-                return 0.0
+                return float("nan")
             rank = p / 100.0 * self.count
             seen = 0
             for i, c in enumerate(self._counts):
@@ -232,8 +238,14 @@ class Histogram:
         return self.total / self.count if self.count else 0.0
 
     def summary(self) -> Dict[str, float]:
+        if self.count == 0:
+            # all-zero, not NaN: summaries feed JSON snapshots and
+            # report-equality bench gates, where NaN breaks both
+            return {"count": 0, "mean": 0.0, "min": 0.0, "max": 0.0,
+                    "p50": 0.0, "p95": 0.0, "p99": 0.0}
         return {"count": self.count, "mean": self.mean,
-                "min": self.min or 0.0, "max": self.max or 0.0,
+                "min": self.min if self.min is not None else 0.0,
+                "max": self.max if self.max is not None else 0.0,
                 "p50": self.percentile(50), "p95": self.percentile(95),
                 "p99": self.percentile(99)}
 

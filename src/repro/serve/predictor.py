@@ -81,11 +81,17 @@ class Predictor:
 
     def __init__(self, model, pipeline, *, max_batch: int = 8,
                  bucket: int = 32, compiled: bool = True, drop_seed: int = 0,
-                 sparsity: Optional[SparsityConfig] = None):
+                 sparsity: Optional[SparsityConfig] = None, tracer=None):
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
         if bucket < 1:
             raise ValueError("bucket must be >= 1")
+        # Tracing (repro.obs): the scheduler reads these off the predictor,
+        # so every front-end's spans share one wiring point. An owning
+        # engine overwrites both (tracer push-down + replica track label).
+        self.tracer = tracer if (tracer is not None and tracer.enabled) \
+            else None
+        self.trace_label = "predictor"
         self.model = model.eval()
         self.pipeline = pipeline
         self.max_batch = max_batch

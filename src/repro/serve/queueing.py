@@ -79,6 +79,7 @@ class Request:
     key: Optional[Hashable] = None    #: result-cache digest (None = uncached)
     vtime: float = 0.0                #: fair-queueing virtual timestamp
     seqno: int = 0                    #: arrival tiebreak (monotonic)
+    rid: int = 0                      #: trace request id (0 = untraced)
 
 
 class FairQueue:

@@ -50,7 +50,7 @@ import numpy as np
 
 from ..distributed import SimCluster
 from ..pipeline.engine import content_key as _digest
-from .engine import InferenceEngine
+from .engine import InferenceEngine, _trace_digest
 from .metrics import MetricsRegistry
 from .queueing import EngineOverloaded
 
@@ -125,7 +125,7 @@ class FleetRouter:
 
     def __init__(self, engines: Sequence[InferenceEngine], *,
                  cluster: Optional[SimCluster] = None, spill: bool = True,
-                 route_seconds: float = 0.0):
+                 route_seconds: float = 0.0, tracer=None):
         engines = list(engines)
         if not engines:
             raise ValueError("need at least one replica engine")
@@ -144,6 +144,15 @@ class FleetRouter:
         self.metrics = MetricsRegistry()
         # round-robin fallback cursor for payloads with no digest
         self._rr = 0
+        # Tracing (repro.obs): routing decisions and fault events land on
+        # the "router" track; the replicas' tracers are wired separately
+        # (build_fleet shares one tracer across router + engines).
+        if tracer is None:
+            tracer = next((r.engine.tracer for r in self.replicas
+                           if getattr(r.engine, "tracer", None) is not None),
+                          None)
+        self.tracer = tracer if (tracer is not None and tracer.enabled) \
+            else None
 
     # -- membership --------------------------------------------------------
     def _replica(self, rank: int) -> Replica:
@@ -191,6 +200,11 @@ class FleetRouter:
             self.metrics.inc(f"routed.{rank}")
             if digest is not None:
                 self.metrics.inc("affinity_hit" if i == 0 else "spilled")
+            if self.tracer is not None:
+                self.tracer.instant(
+                    "route", "router",
+                    args={"rank": rank, "spilled": i > 0,
+                          "digest": _trace_digest(digest)})
             return result
         self.metrics.inc("rejected")
         raise EngineOverloaded(
@@ -268,6 +282,8 @@ class FleetRouter:
             raise ValueError(f"replica {rank} is down, cannot drain")
         replica.state = REPLICA_DRAINING
         self.metrics.inc("drains")
+        if self.tracer is not None:
+            self.tracer.instant("drain", "router", args={"rank": rank})
         return replica
 
     def is_drained(self, rank: int) -> bool:
@@ -312,6 +328,9 @@ class FleetRouter:
             return 0
         replica.state = REPLICA_DOWN
         self.metrics.inc("kills")
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.instant("kill", "router", args={"rank": rank})
         orphans, chains = replica.engine.evict_pending()
         rerouted = 0
         for req in orphans:
@@ -326,6 +345,10 @@ class FleetRouter:
                     continue
                 self.replicas[target].adopted += 1
                 adopted = True
+                if tracer is not None:
+                    tracer.instant("reroute", "router",
+                                   args={"rid": req.rid, "from": rank,
+                                         "to": target})
                 break
             if adopted:
                 rerouted += 1
@@ -335,8 +358,16 @@ class FleetRouter:
                 "backlog", retry_after=0.0)
             self.metrics.inc("reroute_failed")
             req.future.set_exception(exc)
-            for _, _, fut in chains.get(id(req), []):
+            if tracer is not None and req.rid:
+                tracer.async_end("request", "router", tracer.clock(),
+                                 req.rid, tid=req.lane,
+                                 args={"outcome": "failed"})
+            for _, twin_lane, fut, crid in chains.get(id(req), []):
                 fut.set_exception(exc)
+                if tracer is not None and crid:
+                    tracer.async_end("request", "router", tracer.clock(),
+                                     crid, tid=twin_lane,
+                                     args={"outcome": "failed"})
         self.metrics.inc("rerouted", rerouted)
         return rerouted
 
@@ -374,6 +405,7 @@ class FleetRouter:
         merged = MetricsRegistry()
         hits = submitted = items = capacity = 0
         per_replica: Dict[int, dict] = {}
+        lane_names: set = set()
         for r in self.replicas:
             merged.merge(r.engine.metrics)
             snap = r.engine.stats()
@@ -382,6 +414,7 @@ class FleetRouter:
             submitted += r.engine.metrics.counter("submitted").value
             items += cache["items"]
             capacity += cache["capacity"]
+            lane_names.update(r.engine.config.lanes)
             per_replica[r.rank] = {
                 "state": r.state,
                 "routed": r.routed,
@@ -389,10 +422,22 @@ class FleetRouter:
                 "queue_depth": snap["queue"]["total"],
                 "cache_hits": cache["hits"],
                 "completed": r.engine.metrics.counter("completed").value,
+                # the replica's own lane-wise queue-wait histograms, so an
+                # imbalance (one replica's interactive lane stalling) is
+                # visible and not washed out by the fleet merge
+                "queue_wait_per_lane": snap["queue"].get("wait_per_lane", {}),
             }
+        fleet = merged.snapshot()
+        # Fleet-wide per-lane queue wait, merged bucket-wise like every
+        # other fleet histogram (true fleet percentiles, never averaged) —
+        # the per-lane breakdown engine.stats() has but the merge dropped.
+        wait_per_lane = {lane: fleet[f"queue_wait.{lane}"]
+                         for lane in sorted(lane_names)
+                         if f"queue_wait.{lane}" in fleet}
         return {
             "router": self.metrics.snapshot(),
-            "fleet": merged.snapshot(),
+            "fleet": fleet,
+            "queue": {"wait_per_lane": wait_per_lane},
             "result_cache": {"hits": hits, "submitted": submitted,
                              "hit_rate": hits / submitted if submitted else 0.0,
                              "items": items, "capacity": capacity},

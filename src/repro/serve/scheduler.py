@@ -147,6 +147,19 @@ class WorkGraphScheduler:
                else predictor.pipeline.fit_length)
         self._fit = fit
 
+    def _trace(self):
+        """(tracer, track) — the owning front-end's tracer, or (None, "").
+
+        The scheduler has no tracer of its own: whoever pumps it (engine,
+        predictor drain, streaming runner) parks one on the predictor, and
+        sub-spans land on that owner's track so a fleet's per-replica
+        timelines stay separate.
+        """
+        tr = getattr(self.predictor, "tracer", None)
+        if tr is not None and tr.enabled:
+            return tr, getattr(self.predictor, "trace_label", "predictor")
+        return None, ""
+
     # -- stage 1 -> 2: bucketing (the single truth) ------------------------
     def bucket_length(self, n: int) -> int:
         """Smallest bucket multiple >= n, capped at the positional table."""
@@ -231,13 +244,30 @@ class WorkGraphScheduler:
             with nn.no_grad():
                 return p.model.forward(tokens, coords, valid).data
         key = (tokens.shape, valid.shape)
+        sig = [list(tokens.shape), list(valid.shape)]
+        tr, trk = self._trace()
         cm = self._plans.get(key)
         if cm is None:
+            tc0 = tr.clock() if tr is not None else 0.0
             t0 = time.perf_counter()
             cm = compile_model(p.model, tokens, coords, valid)
             self._plans[key] = cm
             p.stats["plans"] = len(self._plans)
             p.stats["compile_seconds"] += time.perf_counter() - t0
+            if tr is not None:
+                # args carry only shape-derived values: real compile seconds
+                # would break byte-identical traces across same-seed DES
+                # runs (they live in predictor.stats instead)
+                tr.complete("plan.compile", trk, tc0, tr.clock(),
+                            tid="engine",
+                            args={"signature": sig,
+                                  "steps": cm.plan.stats["steps"]})
+        elif tr is not None:
+            tr.instant("plan.hit", trk, tid="engine",
+                       args={"signature": sig})
+        if tr is not None and tr.kernels is not None \
+                and cm.plan.profile_hook is None:
+            cm.plan.profile_hook = tr.kernels.hook
         return cm(tokens, coords, valid)
 
     # -- stage 4: stitch ---------------------------------------------------
@@ -261,11 +291,23 @@ class WorkGraphScheduler:
         """
         stats = self.predictor.stats
         rt = getattr(self.predictor, "sparsity", None)
+        tr, trk = self._trace()
+        t0 = tr.clock() if tr is not None else 0.0
         fitted = [self._fit_to(n.seq, micro.length) for n in micro.nodes]
         stats["real_tokens"] += sum(len(n.seq) for n in micro.nodes)
         stats["padded_tokens"] += len(micro.nodes) * micro.length
         tokens, coords, valid = collate_sequences(fitted)
+        t1 = 0.0
+        if tr is not None:
+            t1 = tr.clock()
+            tr.complete("batch.form", trk, t0, t1, tid="engine",
+                        args={"size": len(micro.nodes),
+                              "length": micro.length})
         logits = self._forward(tokens, coords, valid)
+        if tr is not None:
+            t2 = tr.clock()
+            tr.complete("execute", trk, t1, t2, tid="engine",
+                        args={"signature": [len(micro.nodes), micro.length]})
         for j, node in enumerate(micro.nodes):
             if node.sparse is not None:
                 maps = rt.reconstruct(node, logits[j])
@@ -277,6 +319,9 @@ class WorkGraphScheduler:
             if rt is not None:
                 rt.finish(node, node.result)
             node.done = True
+        if tr is not None:
+            tr.complete("stitch", trk, t2, tr.clock(), tid="engine",
+                        args={"size": len(micro.nodes)})
         stats["batches"] += 1
         return micro
 

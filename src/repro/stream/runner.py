@@ -92,10 +92,15 @@ class StreamingRunner:
     track_memory:
         Measure the run's peak traced allocation
         (:class:`~repro.perf.memory.TracedMemory`) into the report.
+    tracer:
+        Optional :class:`~repro.obs.Tracer`; the run emits ``tile.read``
+        spans and ``tile.submit`` / ``tile.retire`` / ``tile.skip``
+        instants on the ``stream`` track. Defaults to the engine's (or
+        predictor's) tracer so one shared timeline covers both layers.
     """
 
     def __init__(self, predictor=None, *, engine=None, max_inflight: int = 2,
-                 lane: str = "bulk", track_memory: bool = False):
+                 lane: str = "bulk", track_memory: bool = False, tracer=None):
         if (predictor is None) == (engine is None):
             raise ValueError("pass exactly one of predictor= or engine=")
         if max_inflight < 1:
@@ -105,6 +110,11 @@ class StreamingRunner:
         self.max_inflight = max_inflight if engine is not None else 1
         self.lane = lane
         self.track_memory = track_memory
+        if tracer is None:
+            owner = engine if engine is not None else predictor
+            tracer = getattr(owner, "tracer", None)
+        self.tracer = tracer if (tracer is not None and tracer.enabled) \
+            else None
 
     # -- sparsity accounting ----------------------------------------------
     def _sparsity_counters(self) -> Optional[dict]:
@@ -146,6 +156,9 @@ class StreamingRunner:
         tile, fut, to_class = inflight.popleft()
         value = self._resolve(fut)
         sink.write(tile, class_map(value) if to_class else value)
+        if self.tracer is not None:
+            self.tracer.instant("tile.retire", "stream", self.tracer.clock(),
+                                args={"index": tile.index})
 
     def _submit(self, region: np.ndarray, kind: str, inflight: deque,
                 sink) -> tuple:
@@ -215,15 +228,28 @@ class StreamingRunner:
         if tracer is not None:
             tracer.__enter__()
         try:
+            tr = self.tracer
             for tile in plan.tiles:
                 if tile.index in done:
+                    if tr is not None:
+                        tr.instant("tile.skip", "stream", tr.clock(),
+                                   args={"index": tile.index})
                     continue
+                r0 = tr.clock() if tr is not None else 0.0
                 region = source.read_region(tile.origin, tile.size)
+                if tr is not None:
+                    tr.complete("tile.read", "stream", r0, tr.clock(),
+                                args={"index": tile.index,
+                                      "bytes": int(region.nbytes)})
                 report.bytes_read += region.nbytes
                 if self.engine is not None:
                     fut, to_class, waits = self._submit(region, plan.kind,
                                                         inflight, sink)
                     report.backpressure_waits += waits
+                    if tr is not None:
+                        tr.instant("tile.submit", "stream", tr.clock(),
+                                   args={"index": tile.index, "waits": waits,
+                                         "lane": self.lane})
                     inflight.append((tile, fut, to_class))
                     report.peak_inflight = max(report.peak_inflight,
                                                len(inflight))
@@ -232,6 +258,9 @@ class StreamingRunner:
                 else:
                     report.peak_inflight = max(report.peak_inflight, 1)
                     sink.write(tile, self._predict_tile(region, plan.kind))
+                    if tr is not None:
+                        tr.instant("tile.retire", "stream", tr.clock(),
+                                   args={"index": tile.index})
                 report.tiles_run += 1
                 del region
                 if tracer is not None:

@@ -1,0 +1,191 @@
+"""Tests for the trace exporters: Chrome JSON, validation, flame, paths."""
+
+import json
+
+import pytest
+
+from repro.obs import (Tracer, chrome_trace, critical_paths, flame_text,
+                       validate_trace, write_chrome_trace)
+
+
+def _nested_tracer():
+    """One engine track with a batch span containing the scheduler spans,
+    plus a request async interval riding through the batch."""
+    tr = Tracer()
+    tr.async_begin("request", "engine", 0.0, 1, tid="interactive",
+                   args={"rid": 1, "lane": "interactive", "kind": "fresh"})
+    tr.complete("batch", "engine", 0.10, 0.50, tid="engine",
+                args={"size": 1, "length": 16, "rids": [1]})
+    tr.complete("batch.form", "engine", 0.10, 0.15, tid="engine")
+    tr.complete("execute", "engine", 0.15, 0.40, tid="engine")
+    tr.complete("plan.compile", "engine", 0.15, 0.20, tid="engine")
+    tr.complete("stitch", "engine", 0.40, 0.50, tid="engine")
+    tr.async_end("request", "engine", 0.50, 1, tid="interactive",
+                 args={"outcome": "done"})
+    return tr
+
+
+class TestChromeTrace:
+    def test_tracks_become_named_processes(self):
+        tr = Tracer()
+        tr.instant("a", "router", 0.0)
+        tr.instant("b", "replica0", 0.0, tid="interactive")
+        trace = chrome_trace(tr)
+        meta = [e for e in trace["traceEvents"] if e["ph"] == "M"]
+        procs = {e["args"]["name"]: e["pid"] for e in meta
+                 if e["name"] == "process_name"}
+        assert procs == {"router": 1, "replica0": 2}
+        threads = [(e["pid"], e["tid"], e["args"]["name"]) for e in meta
+                   if e["name"] == "thread_name"]
+        assert (2, 1, "interactive") in threads
+
+    def test_timestamps_convert_to_microseconds(self):
+        tr = Tracer()
+        tr.complete("op", "t", 0.001, 0.0035)
+        trace = chrome_trace(tr)
+        ev = [e for e in trace["traceEvents"] if e["ph"] == "X"][0]
+        assert ev["ts"] == 1000.0
+        assert ev["dur"] == 2500.0
+
+    def test_phase_specific_fields(self):
+        tr = _nested_tracer()
+        tr.instant("req.reject", "engine", 0.6, tid="interactive")
+        events = chrome_trace(tr)["traceEvents"]
+        by_ph = {}
+        for e in events:
+            by_ph.setdefault(e["ph"], []).append(e)
+        assert all("dur" in e for e in by_ph["X"])
+        assert all(e["s"] == "t" for e in by_ph["i"])
+        assert all(e["cat"] == "request" and e["id"] == 1
+                   for e in by_ph["b"] + by_ph["e"])
+
+    def test_write_is_canonical_and_loadable(self, tmp_path):
+        p1, p2 = tmp_path / "a.json", tmp_path / "b.json"
+        write_chrome_trace(_nested_tracer(), str(p1))
+        write_chrome_trace(_nested_tracer(), str(p2))
+        assert p1.read_bytes() == p2.read_bytes()
+        loaded = json.loads(p1.read_text())
+        assert loaded["displayTimeUnit"] == "ms"
+        assert validate_trace(loaded) == []
+
+
+class TestValidateTrace:
+    def test_clean_trace_passes(self):
+        assert validate_trace(chrome_trace(_nested_tracer())) == []
+
+    def test_missing_event_list(self):
+        assert validate_trace({}) == ["traceEvents missing or not a list"]
+
+    def test_unknown_phase_flagged(self):
+        errs = validate_trace({"traceEvents": [{"ph": "Z", "ts": 0}]})
+        assert any("unknown phase" in e for e in errs)
+
+    def test_negative_duration_flagged(self):
+        errs = validate_trace({"traceEvents": [
+            {"ph": "X", "name": "op", "pid": 1, "tid": 1,
+             "ts": 0.0, "dur": -1.0}]})
+        assert any("bad dur" in e for e in errs)
+
+    def test_async_end_without_begin(self):
+        errs = validate_trace({"traceEvents": [
+            {"ph": "e", "name": "request", "cat": "request", "id": 7,
+             "pid": 1, "tid": 1, "ts": 1.0,
+             "args": {"outcome": "done"}}]})
+        assert any("without begin" in e for e in errs)
+
+    def test_unclosed_begin_flagged(self):
+        errs = validate_trace({"traceEvents": [
+            {"ph": "b", "name": "request", "cat": "request", "id": 7,
+             "pid": 1, "tid": 1, "ts": 1.0}]})
+        assert any("never closed" in e for e in errs)
+
+    def test_request_end_requires_outcome(self):
+        errs = validate_trace({"traceEvents": [
+            {"ph": "b", "name": "request", "cat": "request", "id": 7,
+             "pid": 1, "tid": 1, "ts": 0.0},
+            {"ph": "e", "name": "request", "cat": "request", "id": 7,
+             "pid": 1, "tid": 1, "ts": 1.0}]})
+        assert any("no outcome" in e for e in errs)
+
+    def test_overlapping_spans_without_nesting_flagged(self):
+        errs = validate_trace({"traceEvents": [
+            {"ph": "X", "name": "a", "pid": 1, "tid": 1,
+             "ts": 0.0, "dur": 10.0},
+            {"ph": "X", "name": "b", "pid": 1, "tid": 1,
+             "ts": 5.0, "dur": 10.0}]})
+        assert any("without nesting" in e for e in errs)
+
+    def test_sibling_spans_on_same_thread_ok(self):
+        errs = validate_trace({"traceEvents": [
+            {"ph": "X", "name": "a", "pid": 1, "tid": 1,
+             "ts": 0.0, "dur": 1.0},
+            {"ph": "X", "name": "b", "pid": 1, "tid": 1,
+             "ts": 1.0, "dur": 1.0}]})
+        assert errs == []
+
+    def test_zero_duration_children_at_same_instant_nest(self):
+        # the DES shape: parent and child can share a start instant
+        errs = validate_trace({"traceEvents": [
+            {"ph": "X", "name": "batch", "pid": 1, "tid": 1,
+             "ts": 2.0, "dur": 0.5},
+            {"ph": "X", "name": "execute", "pid": 1, "tid": 1,
+             "ts": 2.0, "dur": 0.0},
+            {"ph": "X", "name": "stitch", "pid": 1, "tid": 1,
+             "ts": 2.5, "dur": 0.0}]})
+        assert errs == []
+
+
+class TestFlameText:
+    def test_nesting_and_aggregation(self):
+        tr = Tracer()
+        for k in range(2):
+            base = float(k)
+            tr.complete("batch", "engine", base, base + 0.5, tid="engine")
+            tr.complete("execute", "engine", base + 0.1, base + 0.4,
+                        tid="engine")
+        text = flame_text(tr)
+        lines = text.splitlines()
+        assert lines[0] == "engine/engine"
+        batch_line = next(ln for ln in lines if "batch" in ln)
+        exec_line = next(ln for ln in lines if "execute" in ln)
+        assert "x2" in batch_line and "x2" in exec_line
+        # execute is indented one level deeper than batch
+        assert (len(exec_line) - len(exec_line.lstrip())
+                > len(batch_line) - len(batch_line.lstrip()))
+
+    def test_min_seconds_prunes(self):
+        tr = Tracer()
+        tr.complete("big", "t", 0.0, 1.0)
+        tr.complete("tiny", "t", 2.0, 2.0001)
+        text = flame_text(tr, min_seconds=0.01)
+        assert "big" in text and "tiny" not in text
+
+
+class TestCriticalPaths:
+    def test_batched_request_full_breakdown(self):
+        paths = critical_paths(_nested_tracer())
+        row = paths[1]
+        assert row["outcome"] == "done"
+        assert row["total"] == pytest.approx(0.5)
+        assert row["queue"] == pytest.approx(0.10)
+        assert row["batch_form"] == pytest.approx(0.05)
+        assert row["plan"] == pytest.approx(0.05)
+        # execute excludes the compile time nested inside it
+        assert row["execute"] == pytest.approx(0.20)
+        assert row["stitch"] == pytest.approx(0.10)
+
+    def test_cache_hit_has_total_and_outcome_only(self):
+        tr = Tracer()
+        tr.async_begin("request", "engine", 1.0, 5, tid="interactive",
+                       args={"kind": "cache_hit"})
+        tr.async_end("request", "engine", 1.0, 5, tid="interactive",
+                     args={"outcome": "cache_hit"})
+        row = critical_paths(tr)[5]
+        assert row == {"outcome": "cache_hit", "total": 0.0}
+
+    def test_open_request_reports_open(self):
+        tr = Tracer()
+        tr.async_begin("request", "engine", 1.0, 9, tid="bulk")
+        row = critical_paths(tr)[9]
+        assert row["outcome"] == "open"
+        assert "total" not in row

@@ -1,0 +1,167 @@
+"""Unit tests for the tracer core: events, spans, ids, kernel profile."""
+
+import threading
+
+import pytest
+
+from repro.obs import KernelProfile, Span, Tracer
+
+
+class FakeClock:
+    """Deterministic settable clock for span/default-timestamp tests."""
+
+    def __init__(self, t=0.0):
+        self.t = t
+
+    def __call__(self):
+        return self.t
+
+
+class TestTracerRecording:
+    def test_complete_records_x_event(self):
+        tr = Tracer(clock=FakeClock())
+        tr.complete("op", "engine", 1.0, 1.5, tid="lane", args={"k": 1})
+        (ev,) = tr.events
+        assert ev == {"ph": "X", "name": "op", "track": "engine",
+                      "tid": "lane", "ts": 1.0, "dur": 0.5, "args": {"k": 1}}
+
+    def test_negative_duration_clamps_to_zero(self):
+        tr = Tracer()
+        tr.complete("op", "t", 2.0, 1.0)
+        assert tr.events[0]["dur"] == 0.0
+
+    def test_instant_uses_clock_when_t_omitted(self):
+        clock = FakeClock(7.25)
+        tr = Tracer(clock=clock)
+        tr.instant("mark", "t")
+        tr.instant("mark2", "t", 9.0)
+        assert tr.events[0]["ts"] == 7.25
+        assert tr.events[1]["ts"] == 9.0
+
+    def test_async_pair_carries_cat_and_id(self):
+        tr = Tracer()
+        tr.async_begin("request", "engine", 0.0, 42, tid="interactive",
+                       args={"rid": 42})
+        tr.async_end("request", "engine", 1.0, 42, tid="interactive",
+                     args={"outcome": "done"})
+        b, e = tr.events
+        assert b["ph"] == "b" and e["ph"] == "e"
+        assert b["cat"] == e["cat"] == "request"
+        assert b["id"] == e["id"] == 42
+
+    def test_next_id_is_sequential_from_one(self):
+        tr = Tracer()
+        assert [tr.next_id() for _ in range(3)] == [1, 2, 3]
+
+    def test_tracks_assigned_in_first_seen_order(self):
+        tr = Tracer()
+        tr.instant("a", "router", 0.0)
+        tr.instant("b", "replica0", 0.0)
+        tr.instant("c", "router", 0.0)
+        assert tr.tracks == {"router": 1, "replica0": 2}
+
+    def test_thread_safe_appends(self):
+        tr = Tracer()
+
+        def work(k):
+            for i in range(200):
+                tr.instant("e", f"track{k}", float(i))
+
+        ts = [threading.Thread(target=work, args=(k,)) for k in range(4)]
+        for t in ts:
+            t.start()
+        for t in ts:
+            t.join()
+        assert len(tr.events) == 800
+        assert sorted(tr.tracks.values()) == [1, 2, 3, 4]
+
+
+class TestDisabledTracer:
+    def test_records_nothing(self):
+        tr = Tracer(enabled=False)
+        tr.complete("op", "t", 0.0, 1.0)
+        tr.instant("i", "t", 0.0)
+        tr.async_begin("request", "t", 0.0, 1)
+        tr.async_end("request", "t", 1.0, 1)
+        assert tr.events == []
+        assert tr.tracks == {}
+
+    def test_begin_returns_dead_span(self):
+        tr = Tracer(enabled=False)
+        with tr.begin("op", "t") as span:
+            assert isinstance(span, Span)
+        span.end()          # second close is also a no-op
+        assert tr.events == []
+
+    def test_components_normalize_disabled_to_none(self):
+        # the contract every instrumented component relies on
+        tracer = Tracer(enabled=False)
+        normalized = tracer if (tracer is not None and tracer.enabled) \
+            else None
+        assert normalized is None
+
+
+class TestSpan:
+    def test_context_manager_records_clock_interval(self):
+        clock = FakeClock(1.0)
+        tr = Tracer(clock=clock)
+        with tr.begin("work", "engine", tid="w", args={"a": 1}):
+            clock.t = 3.0
+        (ev,) = tr.events
+        assert (ev["ts"], ev["dur"]) == (1.0, 2.0)
+        assert ev["args"] == {"a": 1}
+
+    def test_end_is_idempotent(self):
+        tr = Tracer(clock=FakeClock())
+        span = tr.begin("work", "t")
+        span.end(1.0)
+        span.end(5.0)
+        assert len(tr.events) == 1
+
+    def test_end_merges_args(self):
+        tr = Tracer(clock=FakeClock())
+        span = tr.begin("work", "t", args={"a": 1, "b": 2})
+        span.end(1.0, args={"b": 3, "c": 4})
+        assert tr.events[0]["args"] == {"a": 1, "b": 3, "c": 4}
+
+    def test_explicit_timestamps_beat_clock(self):
+        tr = Tracer(clock=FakeClock(99.0))
+        span = tr.begin("work", "t", t=2.0)
+        span.end(3.5)
+        assert (tr.events[0]["ts"], tr.events[0]["dur"]) == (2.0, 1.5)
+
+
+class TestKernelProfile:
+    def test_record_aggregates_per_op(self):
+        kp = KernelProfile()
+        kp.record("matmul", 0.5, flops=1e9, bytes=2e9)
+        kp.record("matmul", 0.5, flops=1e9, bytes=2e9)
+        kp.record("softmax", 0.1, flops=1e6, bytes=1e6)
+        summ = kp.summary()
+        assert summ["matmul"]["calls"] == 2
+        assert summ["matmul"]["seconds"] == pytest.approx(1.0)
+        assert summ["matmul"]["gflop_per_s"] == pytest.approx(2.0)
+        assert summ["matmul"]["gb_per_s"] == pytest.approx(4.0)
+
+    def test_summary_orders_heaviest_first(self):
+        kp = KernelProfile()
+        kp.record("cheap", 0.01)
+        kp.record("heavy", 1.0)
+        assert list(kp.summary()) == ["heavy", "cheap"]
+
+    def test_hook_matches_profile_hook_signature(self):
+        kp = KernelProfile()
+        kp.hook("sdpa", 0.25, {"flops": 4e9, "bytes": 1e9})
+        kp.hook("sdpa", 0.25, None)       # meta-less steps still count
+        summ = kp.summary()
+        assert summ["sdpa"]["calls"] == 2
+        assert summ["sdpa"]["gflops"] == pytest.approx(4.0)
+
+    def test_zero_seconds_reports_zero_throughput(self):
+        kp = KernelProfile()
+        kp.record("noop", 0.0, flops=1e9)
+        assert kp.summary()["noop"]["gflop_per_s"] == 0.0
+
+    def test_tracer_attaches_profile_on_request(self):
+        assert Tracer().kernels is None
+        assert isinstance(Tracer(profile_kernels=True).kernels, KernelProfile)

@@ -119,6 +119,32 @@ class TestCompile:
         with pytest.raises(ValueError):
             plan.run({"x": np.ones((3, 2), np.float32)})
 
+    def test_profile_hook_times_every_step_with_cost_meta(self):
+        mha = nn.MultiHeadAttention(dim=8, heads=2,
+                                    rng=np.random.default_rng(0))
+        mlp = nn.MLP(8, 16, rng=np.random.default_rng(1))
+        feeds = {"x": np.ones((1, 5, 8), np.float32)}
+        g = trace(lambda x: mlp(mha(x)), feeds)
+        plan = compile_graph(g)
+        baseline = plan.run(feeds).copy()
+
+        calls = []
+        plan.profile_hook = lambda name, s, meta: calls.append((name, s,
+                                                                meta))
+        hooked = plan.run(feeds)
+        np.testing.assert_array_equal(hooked, baseline)   # timing-only
+        assert len(calls) == plan.stats["steps"]
+        assert all(s >= 0.0 for _, s, _ in calls)
+        metas = [m for _, _, m in calls if m is not None]
+        assert metas, "compiled steps must carry cost-model metadata"
+        fused = [m for (n, _, m) in calls
+                 if m and n in ("sdpa", "linear", "linear_gelu", "matmul")]
+        assert fused
+        assert all(m["flops"] > 0 and m["bytes"] > 0 for m in fused)
+
+        plan.profile_hook = None                          # detach restores
+        np.testing.assert_array_equal(plan.run(feeds), baseline)
+
     def test_noncontiguous_reshape_becomes_runtime_copy(self):
         def fn(x):
             return x.transpose(0, 2, 1).reshape(2, 12) * 1.0

@@ -54,8 +54,14 @@ class TestHistogram:
 
     def test_empty_and_validation(self):
         h = Histogram("lat")
-        assert h.percentile(99) == 0.0
-        assert h.summary()["count"] == 0
+        # NaN sentinel: empty is distinguishable from observed-zero latency
+        assert np.isnan(h.percentile(0))
+        assert np.isnan(h.percentile(99))
+        assert np.isnan(h.percentile(100))
+        # ... but the JSON-facing summary stays finite and all-zero
+        summ = h.summary()
+        assert summ["count"] == 0
+        assert all(v == 0.0 for v in summ.values())
         with pytest.raises(ValueError):
             h.observe(-1.0)
         with pytest.raises(ValueError):
@@ -187,6 +193,26 @@ class TestMerge:
         c = Histogram("lat")
         a.merge(c)                    # nonempty <- empty
         assert a.count == 1 and a.max == 0.5
+
+    def test_histogram_merge_empty_is_identity(self):
+        """Merging an empty histogram into a populated one changes nothing
+        — not the moments, not the extremes, not any quantile."""
+        rng = np.random.default_rng(7)
+        h = Histogram("lat")
+        for s in rng.lognormal(mean=-3.0, sigma=1.0, size=500):
+            h.observe(float(s))
+        before = (h.count, h.total, h.min, h.max,
+                  [h.percentile(p) for p in (0, 50, 95, 99, 100)])
+        h.merge(Histogram("lat"))
+        after = (h.count, h.total, h.min, h.max,
+                 [h.percentile(p) for p in (0, 50, 95, 99, 100)])
+        assert after == before
+
+    def test_histogram_merge_empty_into_empty_stays_empty(self):
+        a = Histogram("lat")
+        a.merge(Histogram("lat"))
+        assert a.count == 0 and a.min is None and a.max is None
+        assert np.isnan(a.percentile(50))
 
     def test_histogram_grid_mismatch_rejected(self):
         a = Histogram("lat", growth=1.12)

@@ -298,6 +298,25 @@ class TestFleetStats:
         assert set(snap["replicas"]) == {0, 1, 2}
         assert snap["topology"] == {"world_size": 3, "live": [0, 1, 2]}
 
+    def test_lane_wise_queue_wait_merges_across_replicas(self):
+        """stats() exposes per-lane queue-wait both per replica and merged
+        fleet-wide (bucket counts add, so percentiles are true fleet
+        percentiles, never averages of averages)."""
+        router, _ = _fleet()
+        imgs = _images()
+        for i, im in enumerate(imgs):
+            router.submit(im, lane="interactive" if i % 2 == 0 else "bulk")
+        router.drain_all()
+        snap = router.stats()
+        fleet_lanes = snap["queue"]["wait_per_lane"]
+        assert set(fleet_lanes) <= {"interactive", "bulk"}
+        for lane, merged in fleet_lanes.items():
+            per = [r["queue_wait_per_lane"].get(lane, {"count": 0})["count"]
+                   for r in snap["replicas"].values()]
+            assert merged["count"] == sum(per) > 0
+        total = sum(m["count"] for m in fleet_lanes.values())
+        assert total == len(imgs)
+
     def test_cache_shards_aggregate(self):
         router, _ = _fleet()
         imgs = _images(4)
